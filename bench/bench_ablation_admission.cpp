@@ -1,0 +1,57 @@
+// Ablation: probabilistic cache admission as a latent countermeasure.
+//
+// If the router admits arriving Data into its CS only with probability p,
+// the adversary's "was it requested?" oracle becomes unreliable: a probe
+// misses with probability 1-p even though the victim requested the
+// content. This is a cheap, policy-free dial — but unlike the paper's
+// schemes it gives no calibrated (k, eps, delta) guarantee and costs hit
+// rate for everyone, private or not. The bench quantifies both sides.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/policies.hpp"
+#include "trace/replayer.hpp"
+
+int main() {
+  using namespace ndnp;
+  bench::print_header("Ablation", "probabilistic cache admission: privacy vs utility");
+
+  trace::TraceGenConfig gen;
+  gen.num_requests = bench::scale_from_env("NDNP_TRACE_REQUESTS", 100'000);
+  gen.num_objects = 60'000;
+  gen.seed = 2013;
+  const trace::Trace tr = trace::generate_trace(gen);
+
+  std::printf("LAN timing attack (decision protocol) and trace hit rate vs admission p:\n\n");
+  std::printf("%12s  %16s  %14s\n", "admission p", "attack accuracy", "trace hit rate");
+  for (const double p : {1.0, 0.75, 0.5, 0.25, 0.1}) {
+    attack::TimingAttackConfig attack_config;
+    attack_config.trials = bench::scale_from_env("NDNP_TIMING_TRIALS", 40);
+    attack_config.contents_per_trial = 15;
+    attack_config.seed = 5;
+    attack_config.scenario_params = [p](std::uint64_t seed) {
+      sim::ScenarioParams params = sim::lan_scenario_params(seed);
+      params.router_config.cache_admission_probability = p;
+      return params;
+    };
+    const double accuracy = attack::run_decision_protocol(attack_config);
+
+    trace::ReplayConfig replay_config;
+    replay_config.cache_capacity = 8'000;
+    replay_config.private_fraction = 0.0;  // admission applies to everything
+    replay_config.cache_admission_probability = p;
+    replay_config.seed = 99;
+    replay_config.policy_factory = [] { return std::make_unique<core::NoPrivacyPolicy>(); };
+    const double hit_rate = trace::replay(tr, replay_config).hit_rate_pct();
+
+    std::printf("%12.2f  %16.3f  %13.2f%%\n", p, accuracy, hit_rate);
+  }
+
+  std::printf(
+      "\nLower admission probability degrades the adversary toward a one-sided\n"
+      "guesser (a hit still proves 'requested'; a miss proves nothing) while the\n"
+      "hit rate decays roughly linearly — a blunt instrument compared to\n"
+      "Random-Cache's calibrated budget, but it composes with every scheme.\n");
+  bench::print_footer();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Ablation: the three Always-Delay variants of Section V-B — constant
+// gamma, content-specific gamma_C, dynamic — compared on (a) privacy
+// (residual hit/miss distinguishability under the timing attack) and
+// (b) latency cost (mean response delay on the trace replay).
+//
+// Expected: content-specific is safe at exactly the true-fetch latency
+// cost; constant gamma is safe only when gamma covers the farthest
+// producer (and over-delays nearby content); dynamic trades a little
+// privacy for lower delay on popular content.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/policies.hpp"
+#include "trace/replayer.hpp"
+
+int main() {
+  using namespace ndnp;
+  bench::print_header("Ablation", "Always-Delay variants: privacy vs latency");
+
+  struct Variant {
+    const char* name;
+    std::function<std::unique_ptr<core::CachePrivacyPolicy>()> factory;
+  };
+  const Variant variants[] = {
+      {"none (No-Privacy)", [] { return std::make_unique<core::NoPrivacyPolicy>(); }},
+      {"constant gamma=8ms",
+       [] {
+         return std::make_unique<core::AlwaysDelayPolicy>(
+             core::AlwaysDelayPolicy::constant(util::millis(8)));
+       }},
+      {"constant gamma=2ms (too low)",
+       [] {
+         return std::make_unique<core::AlwaysDelayPolicy>(
+             core::AlwaysDelayPolicy::constant(util::millis(2)));
+       }},
+      {"content-specific",
+       [] {
+         return std::make_unique<core::AlwaysDelayPolicy>(
+             core::AlwaysDelayPolicy::content_specific());
+       }},
+      {"dynamic (floor 3ms, decay .8)",
+       [] {
+         return std::make_unique<core::AlwaysDelayPolicy>(core::AlwaysDelayPolicy::dynamic(
+             {.two_hop_floor = util::millis(3), .decay = 0.8}));
+       }},
+      {"dynamic (floor 8ms)",
+       [] {
+         return std::make_unique<core::AlwaysDelayPolicy>(core::AlwaysDelayPolicy::dynamic(
+             {.two_hop_floor = util::millis(8), .decay = 0.8}));
+       }},
+  };
+
+  std::printf("Residual timing-attack accuracy at R (LAN scenario, all content private):\n\n");
+  std::printf("%-32s  %16s\n", "variant", "Bayes accuracy");
+  for (const Variant& variant : variants) {
+    attack::TimingAttackConfig config;
+    config.trials = bench::scale_from_env("NDNP_TIMING_TRIALS", 25);
+    config.contents_per_trial = 15;
+    config.seed = 11;
+    config.scenario_params = [&variant](std::uint64_t seed) {
+      sim::ScenarioParams params = sim::lan_scenario_params(seed);
+      params.producer_config.mark_private = true;
+      params.router_policy = variant.factory;
+      return params;
+    };
+    const attack::TimingAttackResult result = attack::run_timing_attack(config);
+    std::printf("%-32s  %16.4f\n", variant.name, result.bayes_accuracy);
+  }
+
+  std::printf("\nLatency cost on the trace replay (cache 8000, 20%% private):\n\n");
+  trace::TraceGenConfig gen;
+  gen.num_requests = bench::scale_from_env("NDNP_TRACE_REQUESTS", 150'000);
+  gen.num_objects = 60'000;
+  gen.seed = 2013;
+  const trace::Trace tr = trace::generate_trace(gen);
+  std::printf("%-32s  %14s  %12s\n", "variant", "mean resp ms", "hit rate");
+  for (const Variant& variant : variants) {
+    trace::ReplayConfig config;
+    config.cache_capacity = 8'000;
+    config.private_fraction = 0.2;
+    config.seed = 99;
+    config.policy_factory = variant.factory;
+    const trace::ReplayResult result = trace::replay(tr, config);
+    std::printf("%-32s  %14.3f  %11.2f%%\n", variant.name, result.mean_response_ms,
+                result.hit_rate_pct());
+  }
+  std::printf(
+      "\nPaper (Section V-B): constant gamma covering the producer RTT is safe (misses are\n"
+      "padded up to gamma); gamma below it sacrifices privacy. Content-specific gamma_C is\n"
+      "safe at exactly the true-fetch latency cost. Dynamic delay is distinguishable against\n"
+      "this raw hit-vs-origin attack even with a high floor (hits get delayed *more* than\n"
+      "misses, which are never padded): its defense presumes nearby in-network caches make\n"
+      "the mimicked delay plausible — the paper's noted privacy/responsiveness trade.\n"
+      "(Residual accuracies of ~0.6 for safe variants are finite-sample TV estimator bias;\n"
+      "the single-threshold adversary on the same data sits at chance.)\n");
+  bench::print_footer();
+  return 0;
+}

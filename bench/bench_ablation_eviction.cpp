@@ -1,0 +1,51 @@
+// Ablation (ours, beyond the paper): how the eviction policy interacts
+// with the privacy schemes. The paper evaluates LRU only; this bench
+// replays the same trace under LRU / FIFO / LFU / Random eviction for the
+// No-Privacy and Exponential-Random-Cache schemes.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/policies.hpp"
+#include "core/theory.hpp"
+#include "trace/replayer.hpp"
+
+int main() {
+  using namespace ndnp;
+  bench::print_header("Ablation", "eviction policy (LRU / FIFO / LFU / Random) x privacy scheme");
+
+  trace::TraceGenConfig gen;
+  gen.num_requests = bench::scale_from_env("NDNP_TRACE_REQUESTS", 150'000);
+  gen.num_objects = 60'000;
+  gen.seed = 2013;
+  const trace::Trace tr = trace::generate_trace(gen);
+
+  const auto expo = core::solve_expo_params(5, 0.005, 0.05);
+  if (!expo) return 1;
+  std::printf("trace: %zu requests; cache 8000; private fraction 0.20\n\n", tr.size());
+
+  const cache::EvictionPolicy policies[] = {
+      cache::EvictionPolicy::kLru, cache::EvictionPolicy::kFifo, cache::EvictionPolicy::kLfu,
+      cache::EvictionPolicy::kRandom};
+
+  std::printf("%-10s  %18s  %26s\n", "eviction", "No-Privacy hit%", "Expo-Random-Cache hit%");
+  for (const cache::EvictionPolicy eviction : policies) {
+    trace::ReplayConfig config;
+    config.cache_capacity = 8'000;
+    config.eviction = eviction;
+    config.private_fraction = 0.2;
+    config.seed = 99;
+
+    config.policy_factory = [] { return std::make_unique<core::NoPrivacyPolicy>(); };
+    const double none = trace::replay(tr, config).hit_rate_pct();
+    config.policy_factory = [&] {
+      return core::RandomCachePolicy::exponential(expo->alpha, expo->domain, 5);
+    };
+    const double expo_rate = trace::replay(tr, config).hit_rate_pct();
+    std::printf("%-10s  %17.2f%%  %25.2f%%\n",
+                std::string(cache::to_string(eviction)).c_str(), none, expo_rate);
+  }
+  std::printf("\nExpectation: LRU/LFU beat FIFO/Random on a Zipf trace; the privacy penalty\n"
+              "(gap between columns) is roughly eviction-independent — the schemes compose.\n");
+  bench::print_footer();
+  return 0;
+}

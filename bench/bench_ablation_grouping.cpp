@@ -1,0 +1,175 @@
+// Ablation: correlation grouping (Section VI, "Addressing Content
+// Correlation").
+//
+// Per-content Random-Cache is insecure for correlated content: an
+// adversary probing the n fragments of one download gets n *independent*
+// samples of the threshold distribution, so the per-content privacy budget
+// amplifies roughly n-fold (epsilon_total ~ n * epsilon for the
+// exponential scheme, and the one-sided delta mass compounds as
+// 1-(1-delta')^n). Grouped Random-Cache keys a single (c_C, k_C) per
+// namespace: probing any number of members is equivalent to probing one
+// content repeatedly, whose leakage saturates at the single-content bound.
+//
+// The bench plays the distinguishing game ("did the victim download the
+// n-fragment set?") with a likelihood-ratio adversary at fixed per-content
+// parameters, sweeping n — per-content accuracy climbs toward 1, grouped
+// accuracy stays pinned at the single-content bound — then measures the
+// utility cost of grouping on the trace replay.
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+#include "core/indistinguishability.hpp"
+#include "core/policies.hpp"
+#include "core/theory.hpp"
+#include "trace/replayer.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ndnp;
+
+constexpr double kAlpha = 0.7788;  // per-content epsilon ~ 0.25 at x = 1
+constexpr std::int64_t kDomain = 64;
+constexpr std::int64_t kProbesPerFragment = 6;
+
+/// Log-likelihood of observing miss-run m under distribution d.
+double log_prob(const core::DiscreteDist& d, std::size_t m) {
+  const double p = m < d.size() ? d[m] : 0.0;
+  return p > 0.0 ? std::log(p) : -std::numeric_limits<double>::infinity();
+}
+
+/// One engine round; returns the adversary's verdict correctness.
+bool play_round(core::Grouping grouping, std::size_t n_fragments, util::Rng& rng) {
+  const core::TruncatedGeometricK dist(kAlpha, kDomain);
+  core::CachePrivacyEngine engine(
+      0, cache::EvictionPolicy::kLru,
+      std::make_unique<core::RandomCachePolicy>(dist.clone(), rng.next_u64(), grouping,
+                                                /*namespace_prefix_len=*/2));
+  const core::CachePrivacyEngine::FetchFn fetch = [](const ndn::Interest& interest) {
+    return std::pair{ndn::make_data(interest.name, "x", "p", "k", /*producer_private=*/true),
+                     util::millis(20)};
+  };
+  const ndn::Name base = ndn::Name("/video").append_number(rng.next_u64());
+  util::SimTime now = 0;
+  const auto request = [&](std::size_t fragment) {
+    ndn::Interest interest;
+    interest.name = base.append_number(fragment);
+    interest.private_req = true;
+    const core::RequestOutcome outcome = engine.handle(interest, now, fetch);
+    now += util::millis(1);
+    return outcome.response_delay > 0;  // true = looks like a miss
+  };
+
+  const bool requested = rng.bernoulli(0.5);
+  if (requested)
+    for (std::size_t f = 0; f < n_fragments; ++f) (void)request(f);
+
+  double llr = 0.0;
+  if (grouping == core::Grouping::kNone) {
+    // Per-fragment miss-runs are independent samples: sum the per-content
+    // log-likelihood ratios.
+    const core::DiscreteDist d0 = core::exact_output_distribution(dist, 0, kProbesPerFragment);
+    const core::DiscreteDist d1 = core::exact_output_distribution(dist, 1, kProbesPerFragment);
+    for (std::size_t f = 0; f < n_fragments; ++f) {
+      std::size_t m = 0;
+      bool in_prefix = true;
+      for (std::int64_t probe = 0; probe < kProbesPerFragment; ++probe) {
+        const bool miss = request(f);
+        if (miss && in_prefix)
+          ++m;
+        else
+          in_prefix = false;
+      }
+      llr += log_prob(d1, m) - log_prob(d0, m);
+    }
+  } else {
+    // All members share one counter: probing one member n*t times is as
+    // informative as spreading probes — a single content's game.
+    const std::int64_t total = kProbesPerFragment * static_cast<std::int64_t>(n_fragments);
+    const core::DiscreteDist d0 = core::exact_output_distribution(dist, 0, total);
+    const core::DiscreteDist d1 = core::exact_output_distribution(dist, 1, total);
+    std::size_t m = 0;
+    bool in_prefix = true;
+    for (std::int64_t probe = 0; probe < total; ++probe) {
+      const bool miss = request(0);
+      if (miss && in_prefix)
+        ++m;
+      else
+        in_prefix = false;
+    }
+    llr = log_prob(d1, m) - log_prob(d0, m);
+  }
+  return (llr > 0.0) == requested;
+}
+
+double game_accuracy(core::Grouping grouping, std::size_t n_fragments, std::size_t rounds,
+                     std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::size_t correct = 0;
+  for (std::size_t round = 0; round < rounds; ++round)
+    if (play_round(grouping, n_fragments, rng)) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(rounds);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation", "correlation grouping: attack resistance and utility cost");
+
+  const std::size_t rounds = bench::scale_from_env("NDNP_GROUPING_ROUNDS", 3'000);
+  const core::TruncatedGeometricK dist(kAlpha, kDomain);
+  {
+    const auto d0 = core::exact_output_distribution(dist, 0, kProbesPerFragment);
+    const auto d1 = core::exact_output_distribution(dist, 1, kProbesPerFragment);
+    std::printf("Exponential-Random-Cache alpha=%.4f K=%lld (per-content eps=%.3f, t=%lld\n"
+                "probes/fragment); single-content Bayes bound = %.4f\n\n",
+                kAlpha, static_cast<long long>(kDomain), -std::log(kAlpha),
+                static_cast<long long>(kProbesPerFragment),
+                0.5 + 0.5 * core::total_variation(d0, d1));
+  }
+
+  std::printf("Distinguishing game: did the victim download the n-fragment set?\n");
+  std::printf("%12s  %22s  %22s\n", "fragments n", "per-content accuracy", "grouped accuracy");
+  for (const std::size_t n : {1, 2, 4, 8, 16}) {
+    const double per_content = game_accuracy(core::Grouping::kNone, n, rounds, 7);
+    const double grouped = game_accuracy(core::Grouping::kByNamespace, n, rounds, 8);
+    std::printf("%12zu  %22.4f  %22.4f\n", n, per_content, grouped);
+  }
+  std::printf("\nPaper: per-content Random-Cache lets Adv 'sample multiple points under\n"
+              "different k' — accuracy climbs toward 1 with n. Grouping pins it at the\n"
+              "single-content bound for every n.\n\n");
+
+  // Utility cost of grouping on the trace (namespace = /web/dom<i>).
+  trace::TraceGenConfig gen;
+  gen.num_requests = bench::scale_from_env("NDNP_TRACE_REQUESTS", 150'000);
+  gen.num_objects = 60'000;
+  gen.seed = 2013;
+  const trace::Trace tr = trace::generate_trace(gen);
+  const auto expo = core::solve_expo_params(5, 0.005, 0.05);
+  if (!expo) return 1;
+
+  std::printf("Utility on the trace (cache 8000, 20%% private, Expo-Random-Cache):\n");
+  for (const core::Grouping grouping :
+       {core::Grouping::kNone, core::Grouping::kByNamespace}) {
+    trace::ReplayConfig config;
+    config.cache_capacity = 8'000;
+    config.private_fraction = 0.2;
+    config.seed = 99;
+    config.policy_factory = [&] {
+      return std::make_unique<core::RandomCachePolicy>(
+          std::make_unique<core::TruncatedGeometricK>(expo->alpha, expo->domain), 5, grouping,
+          /*namespace_prefix_len=*/2);
+    };
+    std::printf("  grouping=%-10s hit rate %.2f%%\n",
+                std::string(core::to_string(grouping)).c_str(),
+                trace::replay(tr, config).hit_rate_pct());
+  }
+  std::printf("\nGrouping shares one miss budget across a namespace: popular namespaces\n"
+              "amortize it faster, so trace utility can even improve slightly.\n");
+  bench::print_footer();
+  return 0;
+}

@@ -1,0 +1,51 @@
+#include "bench_common.hpp"
+
+#include <cstdlib>
+
+namespace ndnp::bench {
+
+std::size_t scale_from_env(const char* var, std::size_t fallback) {
+  if (const char* value = std::getenv(var)) {
+    const long long parsed = std::atoll(value);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+void print_header(const std::string& figure, const std::string& what) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), what.c_str());
+  std::printf("==============================================================\n");
+}
+
+void print_footer() { std::printf("\n"); }
+
+void run_and_print_timing_figure(const std::string& figure, const std::string& description,
+                                 const attack::TimingAttackConfig& config,
+                                 const std::string& paper_claim) {
+  print_header(figure, description);
+  std::printf("trials=%zu contents/trial=%zu seed=%llu mode=%s\n\n", config.trials,
+              config.contents_per_trial, static_cast<unsigned long long>(config.seed),
+              config.producer_mode ? "producer-probe (double fetch)" : "consumer-probe");
+
+  const attack::TimingAttackResult result = attack::run_timing_attack(config);
+
+  std::printf("RTT distributions (probability density, as in the paper's PDF plots):\n");
+  const auto [hit_hist, miss_hist] =
+      util::SampleSet::paired_histograms(result.hit_rtts_ms, result.miss_rtts_ms, 24);
+  std::printf("%s\n", util::format_pdf_table(hit_hist, miss_hist, "hit", "miss").c_str());
+
+  std::printf("hit  RTT: mean=%.3f ms  p50=%.3f  p95=%.3f  (n=%zu)\n",
+              result.hit_rtts_ms.mean(), result.hit_rtts_ms.quantile(0.5),
+              result.hit_rtts_ms.quantile(0.95), result.hit_rtts_ms.size());
+  std::printf("miss RTT: mean=%.3f ms  p50=%.3f  p95=%.3f  (n=%zu)\n",
+              result.miss_rtts_ms.mean(), result.miss_rtts_ms.quantile(0.5),
+              result.miss_rtts_ms.quantile(0.95), result.miss_rtts_ms.size());
+  std::printf("\nDistinguishing probability (Bayes-optimal): %.4f\n", result.bayes_accuracy);
+  std::printf("Single-threshold adversary: accuracy %.4f at threshold %.3f ms\n",
+              result.threshold_accuracy, result.threshold_ms);
+  std::printf("Paper: %s\n", paper_claim.c_str());
+  print_footer();
+}
+
+}  // namespace ndnp::bench

@@ -1,0 +1,29 @@
+// Shared output helpers for the reproduction bench binaries.
+//
+// Every bench prints: a header naming the paper artifact it regenerates,
+// the parameters in play, the regenerated table/series, and a short
+// "paper vs measured" summary line that EXPERIMENTS.md quotes.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "attack/timing_attack.hpp"
+
+namespace ndnp::bench {
+
+/// Environment-variable override for experiment scale, e.g.
+/// scale_from_env("NDNP_TRACE_REQUESTS", 200'000).
+[[nodiscard]] std::size_t scale_from_env(const char* var, std::size_t fallback);
+
+void print_header(const std::string& figure, const std::string& what);
+void print_footer();
+
+/// Run a Figure-3 style timing experiment and print the PDF table plus the
+/// distinguishing probabilities.
+void run_and_print_timing_figure(const std::string& figure, const std::string& description,
+                                 const attack::TimingAttackConfig& config,
+                                 const std::string& paper_claim);
+
+}  // namespace ndnp::bench

@@ -1,0 +1,39 @@
+// Reproduces the Section I combined attack: detecting a two-way
+// interactive communication (e.g. voice or SSH) between Alice and Bob by
+// probing the shared first-hop router's cache for both directions of the
+// stream — and the Section V-A countermeasure (unpredictable names) that
+// eliminates it.
+#include <cstdio>
+
+#include "attack/conversation.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ndnp;
+  bench::print_header("Section I analysis",
+                      "conversation detection via two-sided cache probing");
+
+  const std::size_t trials = bench::scale_from_env("NDNP_CONVERSATION_TRIALS", 200);
+  std::printf("Alice adjacent to probed router R, Bob one WAN hop away; %zu trials;\n"
+              "a call (30 frames each way) happens with probability 1/2 per trial.\n\n",
+              trials);
+
+  std::printf("%-28s  %10s  %12s  %10s\n", "naming", "detection", "false-alarm", "accuracy");
+  for (const bool unpredictable : {false, true}) {
+    attack::ConversationAttackConfig config;
+    config.trials = trials;
+    config.frames = 30;
+    config.unpredictable_names = unpredictable;
+    config.seed = 424242;
+    const attack::ConversationAttackResult result = attack::run_conversation_attack(config);
+    std::printf("%-28s  %10.3f  %12.3f  %10.3f\n",
+                unpredictable ? "unpredictable (Section V-A)" : "predictable (/x/call/seq)",
+                result.detection_rate, result.false_alarm_rate, result.accuracy);
+  }
+  std::printf(
+      "\nPaper: combining the consumer- and producer-side probes reveals ongoing\n"
+      "two-way communication; PRF-derived names deny the adversary both the exact\n"
+      "names and prefix matches, collapsing the attack to coin flipping.\n");
+  bench::print_footer();
+  return 0;
+}

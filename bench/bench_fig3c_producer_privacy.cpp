@@ -1,0 +1,24 @@
+// Reproduces Figure 3(c): WAN producer privacy.
+//
+// The producer P is directly attached to router R while U and Adv sit far
+// away. Adv fetches a content twice: the first fetch samples the miss
+// distribution (content served by P), the second the hit distribution
+// (served by R). Because the R<->P delta is tiny relative to path jitter,
+// a single probe only succeeds ~59 % of the time in the paper — the
+// fragment-amplification bench shows how Adv recovers.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ndnp;
+  attack::TimingAttackConfig config;
+  config.trials = bench::scale_from_env("NDNP_TIMING_TRIALS", 50);
+  config.contents_per_trial = bench::scale_from_env("NDNP_TIMING_CONTENTS", 20);
+  config.scenario_params = &sim::producer_adjacent_scenario_params;
+  config.producer_mode = true;
+  config.seed = 3;
+  bench::run_and_print_timing_figure(
+      "Figure 3(c)",
+      "WAN producer privacy: P adjacent to R, consumers far away, double-fetch probe", config,
+      "Adv distinguishes with ~59% probability from a single content object");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Reproduces the Section III fragment-amplification analysis: a content
+// split into n objects lets the adversary amplify a weak per-object probe
+// (~59 % in the producer-adjacent setting of Figure 3(c)).
+//
+// Prints (1) the paper's analytic curve 1 - (1-p)^n for p = 0.59 and
+// (2) the measured end-to-end attack in the network simulator, where the
+// adversary averages its per-fragment RTTs (see attack/fragment_attack.hpp
+// for why averaging, not OR, is the operationally sound combiner).
+#include <cstdio>
+
+#include "attack/fragment_attack.hpp"
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace ndnp;
+  bench::print_header("Section III analysis", "fragment-correlation amplification");
+
+  std::printf("Analytic curve (paper): Pr[success] = 1 - (1-p)^n at p = 0.59\n");
+  std::printf("%4s  %12s\n", "n", "success");
+  for (const std::size_t n : {1, 2, 4, 8, 16}) {
+    std::printf("%4zu  %12.5f\n", n, util::amplified_success(0.59, n));
+  }
+  std::printf("(paper: n = 8 gives ~0.999)\n\n");
+
+  std::printf("Measured end-to-end (producer-adjacent scenario, mean-RTT combiner):\n");
+  std::printf("%4s  %10s  %10s  %10s  %10s  %10s\n", "n", "per-obj p", "accuracy",
+              "detection", "false-pos", "analytic");
+  for (const std::size_t n : {1, 2, 4, 8, 16}) {
+    attack::FragmentAttackConfig config;
+    config.trials = bench::scale_from_env("NDNP_FRAGMENT_TRIALS", 120);
+    config.n_fragments = n;
+    config.calibration_probes = 25;
+    config.scenario_params = &sim::producer_adjacent_scenario_params;
+    config.seed = 505;
+    const attack::FragmentAttackResult result = attack::run_fragment_attack(config);
+    std::printf("%4zu  %10.3f  %10.3f  %10.3f  %10.3f  %10.3f\n", n,
+                result.per_object_accuracy, result.accuracy, result.detection_rate,
+                result.false_alarm_rate, result.analytic_success);
+  }
+  std::printf(
+      "\nPaper: single-object success ~0.59; amplification drives it toward 1 with n.\n"
+      "Measured accuracy rises with n but saturates below the idealized curve: the\n"
+      "calibration threshold error is shared across fragments and does not average out.\n");
+  bench::print_footer();
+  return 0;
+}

@@ -1,0 +1,179 @@
+// Microbenchmarks (google-benchmark): per-operation costs of the
+// substrates — name parsing/hashing, SHA-256/HMAC, content-store
+// insert/lookup under each eviction policy, the privacy policies' decision
+// path, the forwarder pipeline, and trace replay throughput.
+#include <benchmark/benchmark.h>
+
+#include "cache/content_store.hpp"
+#include "core/engine.hpp"
+#include "core/policies.hpp"
+#include "crypto/hmac.hpp"
+#include "ndn/tlv.hpp"
+#include "sim/apps.hpp"
+#include "sim/forwarder.hpp"
+#include "trace/replayer.hpp"
+
+namespace {
+
+using namespace ndnp;
+
+void BM_NameParse(benchmark::State& state) {
+  for (auto _ : state) {
+    ndn::Name name("/youtube/alice/video-749.avi/137");
+    benchmark::DoNotOptimize(name);
+  }
+}
+BENCHMARK(BM_NameParse);
+
+void BM_NameHash(benchmark::State& state) {
+  const ndn::Name name("/youtube/alice/video-749.avi/137");
+  for (auto _ : state) benchmark::DoNotOptimize(name.hash64());
+}
+BENCHMARK(BM_NameHash);
+
+void BM_NamePrefixCheck(benchmark::State& state) {
+  const ndn::Name prefix("/youtube/alice");
+  const ndn::Name name("/youtube/alice/video-749.avi/137");
+  for (auto _ : state) benchmark::DoNotOptimize(prefix.is_prefix_of(name));
+}
+BENCHMARK(BM_NamePrefixCheck);
+
+void BM_NameToUri(benchmark::State& state) {
+  const ndn::Name name("/youtube/alice/video-749.avi/137");
+  for (auto _ : state) benchmark::DoNotOptimize(name.to_uri());
+}
+BENCHMARK(BM_NameToUri);
+
+void BM_TlvEncodeInterest(benchmark::State& state) {
+  ndn::Interest interest;
+  interest.name = ndn::Name("/youtube/alice/video-749.avi/137");
+  interest.nonce = 123456789;
+  interest.scope = 2;
+  for (auto _ : state) benchmark::DoNotOptimize(ndn::encode(interest));
+}
+BENCHMARK(BM_TlvEncodeInterest);
+
+void BM_TlvDecodeData(benchmark::State& state) {
+  ndn::Data data = ndn::make_data(ndn::Name("/youtube/alice/video-749.avi/137"),
+                                  std::string(1024, 'x'), "alice", "key");
+  const ndn::Buffer wire = ndn::encode(data);
+  for (auto _ : state) benchmark::DoNotOptimize(ndn::decode_data(wire));
+}
+BENCHMARK(BM_TlvDecodeData);
+
+void BM_Sha256(benchmark::State& state) {
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) benchmark::DoNotOptimize(crypto::Sha256::hash(payload));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(8192);
+
+void BM_HmacSign(benchmark::State& state) {
+  const std::string payload(1024, 'x');
+  for (auto _ : state)
+    benchmark::DoNotOptimize(crypto::sign_content("key", "/a/b/c", payload));
+}
+BENCHMARK(BM_HmacSign);
+
+void BM_PrfNameToken(benchmark::State& state) {
+  const crypto::Prf prf("shared-secret");
+  std::uint64_t seq = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(prf.derive_token("audio", seq++));
+}
+BENCHMARK(BM_PrfNameToken);
+
+void BM_ContentStoreInsert(benchmark::State& state) {
+  const auto policy = static_cast<cache::EvictionPolicy>(state.range(0));
+  cache::ContentStore cs(4096, policy, 1);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    ndn::Data data;
+    data.name = ndn::Name("/bench/obj").append_number(i++ % 8192);
+    cs.insert(std::move(data), {});
+  }
+}
+BENCHMARK(BM_ContentStoreInsert)
+    ->Arg(static_cast<int>(cache::EvictionPolicy::kLru))
+    ->Arg(static_cast<int>(cache::EvictionPolicy::kFifo))
+    ->Arg(static_cast<int>(cache::EvictionPolicy::kLfu))
+    ->Arg(static_cast<int>(cache::EvictionPolicy::kRandom));
+
+void BM_ContentStoreLookupHit(benchmark::State& state) {
+  cache::ContentStore cs(0, cache::EvictionPolicy::kLru, 1);
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    ndn::Data data;
+    data.name = ndn::Name("/bench/obj").append_number(i);
+    cs.insert(std::move(data), {});
+  }
+  ndn::Interest interest;
+  interest.name = ndn::Name("/bench/obj/2048");
+  for (auto _ : state) benchmark::DoNotOptimize(cs.find(interest));
+}
+BENCHMARK(BM_ContentStoreLookupHit);
+
+void BM_EngineRequest(benchmark::State& state) {
+  core::CachePrivacyEngine engine(4096, cache::EvictionPolicy::kLru,
+                                  core::RandomCachePolicy::exponential(0.999, 1024, 1));
+  const core::CachePrivacyEngine::FetchFn fetch = [](const ndn::Interest& interest) {
+    return std::pair{ndn::make_data(interest.name, "x", "p", "k"), util::millis(20)};
+  };
+  std::uint64_t i = 0;
+  util::SimTime now = 0;
+  for (auto _ : state) {
+    ndn::Interest interest;
+    interest.name = ndn::Name("/bench/obj").append_number(i++ % 8192);
+    interest.private_req = (i % 5) == 0;
+    benchmark::DoNotOptimize(engine.handle(interest, now, fetch));
+    now += 1000;
+  }
+}
+BENCHMARK(BM_EngineRequest);
+
+void BM_ForwarderRoundTrip(benchmark::State& state) {
+  sim::Scheduler sched;
+  sim::Consumer consumer(sched, "C", 1);
+  sim::ForwarderConfig fcfg;
+  fcfg.cs_capacity = 4096;
+  sim::Forwarder router(sched, "R", fcfg);
+  sim::Producer producer(sched, "P", ndn::Name("/p"), "key", {}, 2);
+  sim::LinkConfig link;
+  link.latency = util::micros(100);
+  connect(consumer, router, link);
+  const auto [rp, pr] = connect(router, producer, link);
+  (void)pr;
+  router.add_route(ndn::Name("/p"), rp);
+
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    bool done = false;
+    consumer.fetch(ndn::Name("/p/obj").append_number(i++),
+                   [&done](const ndn::Data&, util::SimDuration) { done = true; });
+    while (!done && sched.run_one()) {
+    }
+  }
+}
+BENCHMARK(BM_ForwarderRoundTrip);
+
+void BM_TraceReplayThroughput(benchmark::State& state) {
+  trace::TraceGenConfig gen;
+  gen.num_requests = 50'000;
+  gen.num_objects = 20'000;
+  gen.seed = 1;
+  const trace::Trace tr = trace::generate_trace(gen);
+  for (auto _ : state) {
+    trace::ReplayConfig config;
+    config.cache_capacity = 4'000;
+    config.private_fraction = 0.2;
+    config.seed = 2;
+    config.policy_factory = [] {
+      return core::RandomCachePolicy::exponential(0.999, 1024, 3);
+    };
+    benchmark::DoNotOptimize(trace::replay(tr, config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 50'000);
+}
+BENCHMARK(BM_TraceReplayThroughput)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Reproduces the Section VI "non-private naive approach" analysis: with a
+// fixed public threshold k, an adversary that probes until the first
+// exposed hit recovers the exact number of prior requests — k-anonymity by
+// counting collapses to zero privacy.
+//
+// Also plays the formal distinguishing game against the naive scheme
+// (Degenerate K) vs the randomized schemes at the same k, showing why
+// randomizing k_C is the fix.
+#include <cstdio>
+
+#include "attack/counter_attack.hpp"
+#include "attack/distinguisher.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ndnp;
+  bench::print_header("Section VI analysis", "counter attack on the naive threshold scheme");
+
+  constexpr std::int64_t kThreshold = 5;
+  std::printf("Naive scheme with fixed k = %lld: adversary probes until first exposed hit.\n\n",
+              static_cast<long long>(kThreshold));
+  std::printf("%16s  %12s  %18s\n", "prior requests", "probes used", "recovered count");
+  bool all_exact = true;
+  for (std::int64_t x = 0; x <= kThreshold; ++x) {
+    const attack::CounterAttackResult result =
+        attack::run_naive_counter_attack(kThreshold, x);
+    std::printf("%16lld  %12lld  %18lld\n", static_cast<long long>(x),
+                static_cast<long long>(result.probes_used),
+                static_cast<long long>(result.inferred_prior_requests));
+    all_exact = all_exact && result.inferred_prior_requests == x;
+  }
+  std::printf("\nExact recovery for every 0 <= x <= k: %s\n", all_exact ? "YES" : "NO");
+  std::printf("Paper: \"Adv learns that exactly k - c' requests have been issued\".\n\n");
+
+  std::printf("Distinguishing game (x = 2 prior requests, t = 40 probes, 20000 rounds):\n");
+  std::printf("%-32s  %10s  %12s\n", "scheme", "accuracy", "Bayes bound");
+  attack::DistinguisherConfig game;
+  game.x = 2;
+  game.t = 40;
+  game.rounds = 20'000;
+  const struct {
+    const char* name;
+    std::unique_ptr<core::KDistribution> dist;
+  } schemes[] = {
+      {"Naive (Degenerate k=5)", std::make_unique<core::DegenerateK>(5)},
+      {"Uniform-Random-Cache K=100", std::make_unique<core::UniformK>(100)},
+      {"Expo-Random-Cache a=0.999 K=100",
+       std::make_unique<core::TruncatedGeometricK>(0.999, 100)},
+  };
+  for (const auto& scheme : schemes) {
+    const attack::DistinguisherResult result =
+        attack::run_distinguishing_game(*scheme.dist, game);
+    std::printf("%-32s  %10.4f  %12.4f\n", scheme.name, result.accuracy, result.bayes_bound);
+  }
+  std::printf("\nPaper: the naive scheme is fully distinguishable (accuracy ~1); the\n"
+              "randomized schemes pin the adversary near coin-flipping (1/2 + delta/4).\n");
+  bench::print_footer();
+  return 0;
+}

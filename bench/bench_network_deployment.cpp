@@ -1,0 +1,86 @@
+// Deployment study (extends Section V-B's deferred question "which routers
+// should introduce artificial delays"): replay the proxy trace over a
+// two-tier ISP network (4 edge routers -> core -> origin) and compare
+// privacy-policy deployments — none, consumer-facing edge only, or every
+// router — for each scheme, reporting per-tier hit rates, origin load and
+// consumer latency.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/policies.hpp"
+#include "core/theory.hpp"
+#include "trace/network_replay.hpp"
+
+int main() {
+  using namespace ndnp;
+  bench::print_header("Deployment study",
+                      "network-wide trace replay: where should the policy run?");
+
+  trace::TraceGenConfig gen;
+  gen.num_requests = bench::scale_from_env("NDNP_TRACE_REQUESTS", 60'000);
+  gen.num_objects = 40'000;
+  gen.seed = 2013;
+  const trace::Trace tr = trace::generate_trace(gen);
+
+  const auto expo = core::solve_expo_params(5, 0.005, 0.05);
+  if (!expo) return 1;
+
+  std::printf("trace: %zu requests over a 4-edge + core + origin tree;\n"
+              "edge caches 2000, core cache 8000, 20%% private, LRU\n\n",
+              tr.size());
+
+  struct Scheme {
+    const char* name;
+    std::function<std::unique_ptr<core::CachePrivacyPolicy>()> factory;
+  };
+  const Scheme schemes[] = {
+      {"baseline (NoPrivacy)", nullptr},
+      {"Always-Delay",
+       [] {
+         return std::make_unique<core::AlwaysDelayPolicy>(
+             core::AlwaysDelayPolicy::content_specific());
+       }},
+      {"Expo-Random-Cache",
+       [&] { return core::RandomCachePolicy::exponential(expo->alpha, expo->domain, 5); }},
+  };
+
+  // Mean latency rather than the median: with ~45 % of requests paying the
+  // full origin RTT, the median sits on a knife edge between tiers.
+  std::printf("%-22s %-12s %9s %9s %9s %9s %9s\n", "scheme", "deployment", "edge-hit%",
+              "core-hit%", "origin%", "mean ms", "p95 ms");
+  for (const Scheme& scheme : schemes) {
+    const auto deployments =
+        scheme.factory
+            ? std::vector<trace::Deployment>{trace::Deployment::kEdgeOnly,
+                                             trace::Deployment::kEverywhere}
+            : std::vector<trace::Deployment>{trace::Deployment::kNone};
+    for (const trace::Deployment deployment : deployments) {
+      trace::NetworkReplayConfig config;
+      config.edge_routers = 4;
+      config.edge_cache = 2'000;
+      config.core_cache = 8'000;
+      config.private_fraction = 0.2;
+      config.deployment = deployment;
+      config.policy_factory = scheme.factory;
+      config.seed = 99;
+      const trace::NetworkReplayResult result = trace::replay_over_network(tr, config);
+      std::printf("%-22s %-12s %8.2f%% %8.2f%% %8.2f%% %9.2f %9.2f\n", scheme.name,
+                  std::string(to_string(deployment)).c_str(), result.edge_hit_pct(),
+                  result.core_hit_pct(), result.origin_load_pct(), result.rtt_ms.mean(),
+                  result.rtt_ms.quantile(0.95));
+    }
+  }
+
+  std::printf(
+      "\nReading: Always-Delay at the edge hides edge hits without adding core or\n"
+      "origin load (bandwidth preserved); deploying it everywhere stacks delays\n"
+      "for no extra consumer-side privacy. Random-Cache at the edge pushes its\n"
+      "simulated misses upstream (higher core hit share) — and, per the\n"
+      "timing_attack_demo caveat, edge-only simulated misses leak through the\n"
+      "unprotected core cache, so Random-Cache needs 'everywhere' while\n"
+      "Always-Delay is safe and cheapest at the consumer-facing edge alone,\n"
+      "supporting the paper's Section V-B suggestion for delay-based schemes.\n");
+  bench::print_footer();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Extension bench: the PIT-collapse side channel (see attack/pit_probe.hpp).
+//
+// Demonstrates real-time detection of *in-flight* requests via interest
+// collapsing at the shared router, and that every CS-side countermeasure of
+// the paper is blind to it — only denying the adversary the name
+// (Section V-A unpredictable names) closes the channel.
+#include <cstdio>
+
+#include "attack/pit_probe.hpp"
+#include "bench_common.hpp"
+#include "core/policies.hpp"
+#include "core/theory.hpp"
+
+int main() {
+  using namespace ndnp;
+  bench::print_header("Extension", "PIT-collapse side channel: detecting in-flight requests");
+
+  const std::size_t trials = bench::scale_from_env("NDNP_PIT_TRIALS", 150);
+  std::printf("Victim fetches far-away content (RTT ~50 ms); the adversary probes the\n"
+              "same name 20%% of an RTT later and watches for the collapsed-interest\n"
+              "shortcut. %zu trials, balanced prior.\n\n",
+              trials);
+
+  struct Row {
+    const char* policy_name;
+    std::function<std::unique_ptr<core::CachePrivacyPolicy>()> factory;
+    bool pad_collapsed = false;
+  };
+  const auto expo = core::solve_expo_params(5, 0.005, 0.05);
+  const Row rows[] = {
+      {"NoPrivacy", nullptr},
+      {"Always-Delay (content-specific)",
+       [] {
+         return std::make_unique<core::AlwaysDelayPolicy>(
+             core::AlwaysDelayPolicy::content_specific());
+       }},
+      {"Exponential-Random-Cache",
+       [&] { return core::RandomCachePolicy::exponential(expo->alpha, expo->domain, 9); }},
+      {"NoPrivacy + collapse padding (ours)", nullptr, /*pad_collapsed=*/true},
+  };
+
+  std::printf("%-34s  %10s  %12s  %10s\n", "CS policy at R", "detection", "false-alarm",
+              "accuracy");
+  for (const Row& row : rows) {
+    attack::PitProbeConfig config;
+    config.trials = trials;
+    config.seed = 7777;
+    config.router_policy = row.factory;
+    config.pad_collapsed_private = row.pad_collapsed;
+    const attack::PitProbeResult result = attack::run_pit_collapse_attack(config);
+    std::printf("%-34s  %10.3f  %12.3f  %10.3f\n", row.policy_name, result.detection_rate,
+                result.false_alarm_rate, result.accuracy);
+  }
+
+  std::printf(
+      "\nFinding (beyond the paper): interest collapsing leaks on the miss path,\n"
+      "before any cache-management policy runs — the (k, eps, delta) schemes and\n"
+      "artificial delays cannot see it. Two fixes work: unpredictable names deny\n"
+      "the adversary the probe name, and the last row shows this library's PIT\n"
+      "discipline (pad_collapsed_private) — collapsed private interests are\n"
+      "delayed to full-fetch latency, collapsing the oracle to a coin flip while\n"
+      "still saving the upstream bandwidth of the duplicate fetch.\n");
+  bench::print_footer();
+  return 0;
+}

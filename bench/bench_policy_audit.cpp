@@ -1,0 +1,80 @@
+// Black-box policy audit (core/audit.hpp): empirically measure the privacy
+// of every cache-management policy in the library by playing the
+// Definition IV.3 game against the real engine and estimating the
+// adversary's Bayes accuracy and the (eps, delta) budget. For the
+// Random-Cache schemes the measured values converge to the Theorem
+// VI.1/VI.3 predictions — the closed forms and the executable system agree.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/audit.hpp"
+#include "core/policies.hpp"
+#include "core/theory.hpp"
+
+int main() {
+  using namespace ndnp;
+  bench::print_header("Policy audit", "black-box (eps, delta) measurement of every policy");
+
+  core::AuditConfig config;
+  config.x = 2;
+  config.probes = 40;
+  config.rounds = bench::scale_from_env("NDNP_AUDIT_ROUNDS", 30'000);
+  config.delta = 0.05;
+  std::printf("game: x=%lld prior requests, %lld probes, %zu rounds/state, delta budget %.2f\n\n",
+              static_cast<long long>(config.x), static_cast<long long>(config.probes),
+              config.rounds, config.delta);
+
+  struct Row {
+    const char* name;
+    std::function<std::unique_ptr<core::CachePrivacyPolicy>()> factory;
+    double delta_budget;  // must sit above the scheme's one-sided floor
+    const char* theory;
+  };
+  auto seed = std::make_shared<std::uint64_t>(0);
+  const Row rows[] = {
+      {"NoPrivacy", [] { return std::make_unique<core::NoPrivacyPolicy>(); }, 0.05,
+       "fully distinguishable"},
+      {"NaiveThreshold(k=5)", [] { return std::make_unique<core::NaiveThresholdPolicy>(5); },
+       0.05, "fully distinguishable"},
+      {"AlwaysDelay(content-specific)",
+       [] {
+         return std::make_unique<core::AlwaysDelayPolicy>(
+             core::AlwaysDelayPolicy::content_specific());
+       },
+       0.05, "perfect privacy (Def. IV.2)"},
+      {"Uniform-Random-Cache K=30",
+       [seed] { return core::RandomCachePolicy::uniform(30, ++*seed); }, 0.15,
+       "Thm VI.1: delta=2x/K=0.133, acc<=0.533+MC bias"},
+      // Expo's one-sided floor at x=2 is 1-a^2 ~ 0.28: audit eps above it.
+      {"Expo-Random-Cache a=0.85 K=30",
+       [seed] { return core::RandomCachePolicy::exponential(0.85, 30, ++*seed); }, 0.32,
+       "Thm VI.3: eps = x*ln(1/a) = 0.325"},
+  };
+
+  std::printf("%-32s  %10s  %14s  %20s\n", "policy", "Bayes acc", "delta(eps~0)",
+              "eps(delta budget)");
+  for (const Row& row : rows) {
+    core::AuditConfig row_config = config;
+    row_config.delta = row.delta_budget;
+    const core::AuditReport report = core::audit_policy(row.factory, row_config);
+    std::printf("%-32s  %10.4f  %14.4f  ", row.name, report.bayes_accuracy,
+                report.delta_near_zero_epsilon);
+    if (std::isinf(report.epsilon_at_delta))
+      std::printf("%11s @ %4.2f", "inf", row.delta_budget);
+    else
+      std::printf("%11.4f @ %4.2f", report.epsilon_at_delta, row.delta_budget);
+    std::printf("   [%s]\n", row.theory);
+  }
+
+  std::printf(
+      "\nReading: the broken policies audit as fully distinguishable; Always-Delay\n"
+      "audits at exactly chance; Uniform-Random-Cache's one-sided delta matches\n"
+      "2x/K with eps ~ 0; Exponential-Random-Cache needs a delta budget above its\n"
+      "1-a^x floor, where its finite eps emerges near the theorem value (the\n"
+      "excess comes from ratio noise on rare tail outcomes; it shrinks with\n"
+      "NDNP_AUDIT_ROUNDS, as does the Bayes-accuracy TV-estimator bias).\n");
+  bench::print_footer();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Sequential-probing work analysis (attack/sequential.hpp): how often can
+// a Wald-SPRT adversary reach a CONFIDENT verdict from one content, and at
+// what probe cost? Turns the paper's (eps, delta) dial into an operational
+// adversary-work dial, and shows the structural result: interior
+// observations never accumulate on a single content — only the one-sided
+// masses decide (1 - alpha^x for the exponential scheme, 2x/K for the
+// uniform one), so breaking Random-Cache confidently requires correlated
+// content (which grouping removes).
+#include <cmath>
+#include <cstdio>
+
+#include "attack/sequential.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ndnp;
+  bench::print_header("Sequential probing", "SPRT adversary: confident verdicts per scheme");
+
+  attack::SprtConfig config;
+  config.x = 2;
+  config.alpha_error = 0.05;
+  config.beta_error = 0.05;
+  config.rounds = bench::scale_from_env("NDNP_SPRT_ROUNDS", 20'000);
+  std::printf("x = %lld prior requests, 5%%/5%% error targets, %zu rounds, balanced prior\n\n",
+              static_cast<long long>(config.x), config.rounds);
+
+  struct Row {
+    const char* name;
+    std::unique_ptr<core::KDistribution> dist;
+    double predicted_decided;  // closed-form mass of one-sided outcomes
+  };
+  // Closed-form decided rates under a balanced prior: uniform decides on
+  // both one-sided regions (mass x/K under each state -> x/K overall);
+  // expo's S0-side region is negligible at K=100, leaving the S_x-side
+  // immediate hits, (1 - a^x)/2 overall.
+  const double x = static_cast<double>(config.x);
+  Row rows[] = {
+      {"Naive Degenerate(k=6)", std::make_unique<core::DegenerateK>(6), 1.0},
+      {"Uniform K=20", std::make_unique<core::UniformK>(20), x / 20.0},
+      {"Uniform K=100", std::make_unique<core::UniformK>(100), x / 100.0},
+      {"Expo a=0.95 K=100", std::make_unique<core::TruncatedGeometricK>(0.95, 100),
+       0.5 * (1.0 - std::pow(0.95, x))},
+      {"Expo a=0.70 K=100", std::make_unique<core::TruncatedGeometricK>(0.70, 100),
+       0.5 * (1.0 - std::pow(0.70, x))},
+  };
+
+  std::printf("%-24s %10s %12s %12s %14s\n", "scheme", "decided", "predicted", "accuracy",
+              "mean probes");
+  for (Row& row : rows) {
+    const attack::SprtResult result = attack::run_sprt_attack(*row.dist, config);
+    std::printf("%-24s %9.3f%% %11.3f%% %12.4f %14.2f\n", row.name,
+                100.0 * (1.0 - result.undecided_rate), 100.0 * row.predicted_decided,
+                result.accuracy, result.mean_probes);
+  }
+
+  std::printf(
+      "\nReading: only the naive fixed-threshold scheme is always decidable. For\n"
+      "the randomized schemes the decided fraction equals the closed-form\n"
+      "one-sided mass — the adversary can be CONFIDENT exactly that often, no\n"
+      "matter how many times it probes the same content, and every confident\n"
+      "verdict is correct (the error targets only bound the decided rounds).\n"
+      "Exponential's better utility is paid for here: it concedes confident\n"
+      "verdicts ~(1-a^x)/2 of the time vs uniform's x/K.\n");
+  bench::print_footer();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Content-distribution privacy, adopter's view (Sections V-B and VI):
+// pick a privacy target (k, epsilon, delta), let the theory module solve
+// the scheme parameters, and measure what that target costs in cache hit
+// rate and latency on a realistic workload.
+//
+//   ./build/examples/content_distribution_privacy
+#include <cstdio>
+#include <memory>
+
+#include "core/policies.hpp"
+#include "core/theory.hpp"
+#include "trace/replayer.hpp"
+
+using namespace ndnp;
+
+namespace {
+
+void evaluate(const char* label, const trace::Trace& tr,
+              const std::function<std::unique_ptr<core::CachePrivacyPolicy>()>& factory,
+              const core::PrivacyBudget* budget) {
+  trace::ReplayConfig config;
+  config.cache_capacity = 8'000;
+  config.private_fraction = 0.2;
+  config.policy_factory = factory;
+  config.seed = 4;
+  const trace::ReplayResult result = trace::replay(tr, config);
+  std::printf("  %-34s hit %6.2f%%  served-from-cache %6.2f%%  mean %6.2f ms", label,
+              result.hit_rate_pct(), result.cache_served_pct(), result.mean_response_ms);
+  if (budget)
+    std::printf("  (eps=%.3f delta<=%.3f)", budget->epsilon, budget->delta);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  // Workload: a synthetic web-proxy day (see src/trace/trace.hpp).
+  trace::TraceGenConfig gen;
+  gen.num_requests = 120'000;
+  gen.num_objects = 60'000;
+  gen.seed = 31337;
+  const trace::Trace tr = trace::generate_trace(gen);
+  std::printf("Workload: %zu requests over %zu objects, %zu users, 20%% private content,\n"
+              "router cache 8000 objects (LRU)\n\n",
+              tr.size(), tr.catalogue_size, static_cast<std::size_t>(gen.num_users));
+
+  // The adopter's privacy target: hide up to k=5 requests with the privacy
+  // loss bounded by (epsilon, delta).
+  constexpr std::int64_t k = 5;
+  constexpr double epsilon = 0.005;
+  constexpr double delta = 0.05;
+  std::printf("Privacy target: hide whether private content was requested up to k=%lld times,\n"
+              "with (eps=%.3f, delta=%.2f)-indistinguishability.\n\n",
+              static_cast<long long>(k), epsilon, delta);
+
+  const std::int64_t uniform_domain = core::uniform_domain_for_delta(k, delta);
+  const auto expo = core::solve_expo_params(k, epsilon, delta);
+  if (!expo) {
+    std::printf("target unattainable for the exponential scheme\n");
+    return 1;
+  }
+  std::printf("Solved parameters: Uniform K=%lld; Exponential alpha=%.6f K=%lld\n",
+              static_cast<long long>(uniform_domain), expo->alpha,
+              static_cast<long long>(expo->domain));
+  std::printf("Predicted utility at c=50 requests: uniform %.3f, exponential %.3f\n\n",
+              core::uniform_utility(50, uniform_domain),
+              core::expo_utility(50, expo->alpha, expo->domain));
+
+  std::printf("Measured on the workload:\n");
+  evaluate("no privacy (baseline)", tr,
+           [] { return std::make_unique<core::NoPrivacyPolicy>(); }, nullptr);
+
+  const core::PrivacyBudget expo_budget = core::expo_privacy(k, expo->alpha, expo->domain);
+  evaluate("Exponential-Random-Cache", tr,
+           [&] { return core::RandomCachePolicy::exponential(expo->alpha, expo->domain, 7); },
+           &expo_budget);
+
+  const core::PrivacyBudget uniform_budget = core::uniform_privacy(k, uniform_domain);
+  evaluate("Uniform-Random-Cache", tr,
+           [&] { return core::RandomCachePolicy::uniform(uniform_domain, 7); },
+           &uniform_budget);
+
+  const core::PrivacyBudget perfect{0.0, 0.0};
+  evaluate("Always-Delay (perfect privacy)", tr,
+           [] {
+             return std::make_unique<core::AlwaysDelayPolicy>(
+                 core::AlwaysDelayPolicy::content_specific());
+           },
+           &perfect);
+
+  std::printf("\nReading the table: Always-Delay gives perfect privacy and keeps the\n"
+              "bandwidth savings (served-from-cache stays at the baseline) but every\n"
+              "private hit pays origin latency; the Random-Cache schemes trade a bounded\n"
+              "(eps, delta) privacy loss for most of the hit rate back, with the\n"
+              "exponential scheme dominating the uniform one at the same budget.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Interactive-traffic countermeasure (Section V-A): a VoIP-style session
+// protected by unpredictable names.
+//
+// Alice produces audio frames; Bob fetches them by deriving each frame's
+// name from their shared secret (HMAC-based PRF) — both sides compute the
+// same names, routers keep caching normally, but an eavesdropping-free
+// adversary cannot guess a name and therefore cannot probe the cache.
+// The example also shows the property the paper insists this preserves:
+// after packet loss, a re-issued interest is satisfied from the router's
+// cache instead of traveling back to the producer.
+//
+//   ./build/examples/private_voip
+#include <cstdio>
+#include <functional>
+
+#include "core/name_privacy.hpp"
+#include "sim/apps.hpp"
+#include "sim/forwarder.hpp"
+#include "util/stats.hpp"
+
+using namespace ndnp;
+
+int main() {
+  sim::Scheduler sched;
+
+  sim::Consumer bob(sched, "bob", /*seed=*/1);
+  sim::Consumer adversary(sched, "eve", /*seed=*/2);
+  sim::Forwarder router(sched, "R", {.cs_capacity = 10'000});
+  // Alice's endpoint is a repo-only producer: she publishes exactly her
+  // frames, nothing can be auto-generated.
+  sim::Producer alice(sched, "alice", ndn::Name("/alice/call"), "alice-key",
+                      {.auto_generate = false}, /*seed=*/3);
+
+  // Bob's access link is lossy in the data direction (3 % in the paper's
+  // cited measurements; exaggerated here to make retransmissions common).
+  sim::LinkConfig bob_access = sim::lan_link(/*latency_ms=*/0.5);
+  bob_access.loss_probability = 0.15;
+  connect(bob, router, bob_access);
+  connect(adversary, router, sim::lan_link(/*latency_ms=*/0.5));
+  const auto [to_alice, from_router] = connect(router, alice, sim::wan_link(/*latency_ms=*/3.0));
+  (void)from_router;
+  router.add_route(ndn::Name("/alice/call"), to_alice);
+
+  // Both parties derive the same session from the shared secret.
+  const core::UnpredictableNameSession tx(ndn::Name("/alice/call"), "wiretap-resistant-secret",
+                                          "alice-to-bob");
+
+  constexpr std::uint64_t kFrames = 200;
+  for (std::uint64_t seq = 0; seq < kFrames; ++seq)
+    alice.publish(tx.data_for(seq, "audio-frame-" + std::to_string(seq), "alice", "alice-key"));
+
+  // Bob fetches every frame, re-expressing on timeout (simple ARQ).
+  std::uint64_t delivered = 0;
+  std::uint64_t retransmissions = 0;
+  util::SampleSet first_try_ms;
+  util::SampleSet retry_ms;
+
+  std::function<void(std::uint64_t, int)> fetch_frame = [&](std::uint64_t seq, int attempt) {
+    if (attempt > 5) return;  // give up on this frame
+    bob.express_interest(
+        tx.interest_for(seq, bob.make_nonce()),
+        [&, attempt](const ndn::Data&, util::SimDuration rtt) {
+          ++delivered;
+          (attempt == 0 ? first_try_ms : retry_ms).add(util::to_millis(rtt));
+        },
+        /*face=*/0, /*timeout=*/util::millis(20),
+        [&, seq, attempt](const ndn::Interest&) {
+          ++retransmissions;
+          fetch_frame(seq, attempt + 1);
+        });
+  };
+  for (std::uint64_t seq = 0; seq < kFrames; ++seq) fetch_frame(seq, 0);
+  sched.run();
+
+  std::printf("VoIP session: %llu/%llu frames delivered, %llu retransmissions\n",
+              static_cast<unsigned long long>(delivered),
+              static_cast<unsigned long long>(kFrames),
+              static_cast<unsigned long long>(retransmissions));
+  std::printf("first-try RTT: mean %.2f ms (n=%zu)\n", first_try_ms.mean(),
+              first_try_ms.size());
+  if (!retry_ms.empty())
+    std::printf("retransmit RTT: mean %.2f ms (n=%zu) — short because R's cache answers\n"
+                "interests re-issued after downstream loss\n",
+                retry_ms.mean(), retry_ms.size());
+
+  // The adversary's view: it cannot name what it cannot guess.
+  std::printf("\nAdversary probes:\n");
+  int adv_data = 0;
+  adversary.fetch(ndn::Name("/alice/call"),
+                  [&adv_data](const ndn::Data&, util::SimDuration) { ++adv_data; });
+  adversary.fetch(ndn::Name("/alice/call").append_number(7),
+                  [&adv_data](const ndn::Data&, util::SimDuration) { ++adv_data; });
+  sched.run();
+  std::printf("  prefix probes for /alice/call and /alice/call/7 returned %d data packets\n",
+              adv_data);
+  std::printf("  (cached frames are exact-match-only; their rand component is a %zu-hex-char\n",
+              tx.name_for(7).last().size());
+  std::printf("   PRF output, e.g. frame 7 is %s)\n", tx.name_for(7).to_uri().c_str());
+  std::printf("\nNo artificial delay was added anywhere: interactive traffic keeps its\n"
+              "latency, as Section V-A requires.\n");
+  return adv_data == 0 ? 0 : 1;
+}

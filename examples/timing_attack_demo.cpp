@@ -1,0 +1,85 @@
+// Full timing-attack demonstration: the adversary's end-to-end decision
+// protocol (calibrate, probe, decide) against an undefended router and
+// against each countermeasure of Section V/VI.
+//
+//   ./build/examples/timing_attack_demo
+#include <cstdio>
+#include <memory>
+
+#include "attack/timing_attack.hpp"
+#include "core/policies.hpp"
+#include "core/theory.hpp"
+#include "sim/topology.hpp"
+
+using namespace ndnp;
+
+namespace {
+
+double attack_accuracy(
+    const char* label,
+    const std::function<std::unique_ptr<core::CachePrivacyPolicy>()>& policy,
+    bool protect_core_routers = false) {
+  attack::TimingAttackConfig config;
+  config.trials = 60;
+  config.seed = 2025;
+  config.scenario_params = [&policy, protect_core_routers](std::uint64_t seed) {
+    sim::ScenarioParams params = sim::lan_scenario_params(seed);
+    params.producer_config.mark_private = true;  // producer-driven marking
+    if (policy) params.router_policy = policy;
+    if (protect_core_routers && policy) params.core_router_policy = policy;
+    return params;
+  };
+  const double accuracy = attack::run_decision_protocol(config);
+  std::printf("  %-44s adversary accuracy %.3f  %s\n", label, accuracy,
+              accuracy > 0.9   ? "<- attack works"
+              : accuracy < 0.6 ? "<- defeated"
+                               : "<- weakened");
+  return accuracy;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Adversary protocol (Section III): per trial, the victim requests the target\n");
+  std::printf("with probability 1/2; Adv calibrates hit/miss references on throwaway\n");
+  std::printf("content, probes the target once, and decides by nearest reference.\n\n");
+
+  std::printf("LAN scenario, 60 trials, all content producer-marked private:\n\n");
+
+  (void)attack_accuracy("no countermeasure", nullptr);
+  (void)attack_accuracy("Always-Delay (content-specific gamma)", [] {
+    return std::make_unique<core::AlwaysDelayPolicy>(
+        core::AlwaysDelayPolicy::content_specific());
+  });
+  (void)attack_accuracy("Always-Delay (constant gamma = 8 ms)", [] {
+    return std::make_unique<core::AlwaysDelayPolicy>(
+        core::AlwaysDelayPolicy::constant(util::millis(8)));
+  });
+
+  // Random-Cache: the deployment caveat. Installed at R only, a simulated
+  // miss is answered by the *next-hop router's* unprotected cache, so its
+  // RTT still gives the victim away — the scheme must run on every router
+  // whose cache the "miss" could hit (or the next hop must be the
+  // producer itself).
+  const auto expo = core::solve_expo_params(/*k=*/5, /*epsilon=*/0.005, /*delta=*/0.05);
+  if (expo) {
+    const auto expo_factory = [&] {
+      return core::RandomCachePolicy::exponential(expo->alpha, expo->domain, /*seed=*/9);
+    };
+    std::printf("\nDeployment caveat for simulated-miss schemes:\n");
+    (void)attack_accuracy("Expo-Random-Cache at R only (leaks!)", expo_factory,
+                          /*protect_core_routers=*/false);
+    (void)attack_accuracy("Expo-Random-Cache on every router", expo_factory,
+                          /*protect_core_routers=*/true);
+  }
+
+  std::printf("\nNotes: with all routers protected, a single probe of Random-Cache almost\n");
+  std::printf("always sees a simulated miss (k_C is rarely 0), so the one-shot adversary\n");
+  std::printf("drops to chance. Installed at the consumer-facing router alone — the\n");
+  std::printf("paper's suggested deployment — the simulated miss returns at neighbor-\n");
+  std::printf("cache speed and remains distinguishable: the artificial-delay schemes do\n");
+  std::printf("not have this problem because they never forward on a hidden hit. The\n");
+  std::printf("formal multi-probe game and its (k, eps, delta) bounds are exercised by\n");
+  std::printf("bench_naive_counter_attack and bench_theory_validation.\n");
+  return 0;
+}

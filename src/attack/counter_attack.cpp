@@ -1,0 +1,57 @@
+#include "attack/counter_attack.hpp"
+
+#include <stdexcept>
+
+#include "core/engine.hpp"
+#include "core/policies.hpp"
+
+namespace ndnp::attack {
+
+CounterAttackResult run_naive_counter_attack(std::int64_t k, std::int64_t prior_requests) {
+  if (k < 0 || prior_requests < 0)
+    throw std::invalid_argument("run_naive_counter_attack: negative arguments");
+
+  core::CachePrivacyEngine engine(/*cache_capacity=*/0, cache::EvictionPolicy::kLru,
+                                  std::make_unique<core::NaiveThresholdPolicy>(k));
+
+  const ndn::Name target("/victim/secret/document");
+  const util::SimDuration kFetchDelay = util::millis(20);
+  const core::CachePrivacyEngine::FetchFn fetch = [kFetchDelay](const ndn::Interest& interest) {
+    // Producer-marked private content: the naive scheme applies.
+    return std::pair{ndn::make_data(interest.name, "payload", "victim-producer", "key",
+                                    /*producer_private=*/true),
+                     kFetchDelay};
+  };
+
+  ndn::Interest interest;
+  interest.name = target;
+  interest.private_req = true;
+
+  util::SimTime now = 0;
+  for (std::int64_t i = 0; i < prior_requests; ++i) {
+    (void)engine.handle(interest, now, fetch);
+    now += util::millis(1);
+  }
+
+  // Adversary: probe until the response is instantaneous (exposed hit).
+  // It observes only delays — an exposed hit is the unique zero-delay
+  // outcome, everything else looks like an upstream fetch.
+  CounterAttackResult result;
+  while (true) {
+    ++result.probes_used;
+    const core::RequestOutcome outcome = engine.handle(interest, now, fetch);
+    now += util::millis(1);
+    if (outcome.response_delay == 0) break;
+    if (result.probes_used > k + 2)
+      throw std::logic_error("run_naive_counter_attack: oracle failed to open");
+  }
+
+  // With x prior requests (x <= k), the first exposed hit happens on probe
+  // j* = k - x + 2 (the insertion request does not increment the counter),
+  // so x = k + 2 - j*. A first-probe hit means x > k: saturated.
+  result.inferred_prior_requests = k + 2 - result.probes_used;
+  if (result.probes_used == 1) result.inferred_prior_requests = k + 1;
+  return result;
+}
+
+}  // namespace ndnp::attack

@@ -1,0 +1,31 @@
+// Counter attack on the naive fixed-threshold scheme (Section VI, "A
+// Non-Private Naive Approach").
+//
+// The naive scheme answers the first k post-insertion requests for private
+// content with simulated misses, k fixed and public. An adversary who
+// probes until the first exposed hit therefore learns *exactly* how many
+// requests were issued before it started: the scheme provides no privacy
+// at all. Randomizing k per content (Random-Cache) is precisely the fix
+// the paper develops.
+#pragma once
+
+#include <cstdint>
+
+namespace ndnp::attack {
+
+struct CounterAttackResult {
+  /// Probes the adversary needed until the first exposed hit.
+  std::int64_t probes_used = 0;
+  /// Recovered count of requests issued before the attack. When the true
+  /// count exceeds k the oracle saturates; the attack then reports k + 1,
+  /// meaning "more than k".
+  std::int64_t inferred_prior_requests = 0;
+};
+
+/// Run the attack against a CachePrivacyEngine with NaiveThresholdPolicy(k)
+/// after `prior_requests` honest requests for the (producer-private)
+/// target content. The adversary observes only response delays.
+[[nodiscard]] CounterAttackResult run_naive_counter_attack(std::int64_t k,
+                                                           std::int64_t prior_requests);
+
+}  // namespace ndnp::attack

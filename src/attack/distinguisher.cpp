@@ -1,0 +1,121 @@
+#include "attack/distinguisher.hpp"
+
+#include <stdexcept>
+
+#include "core/engine.hpp"
+#include "core/indistinguishability.hpp"
+#include "core/policies.hpp"
+
+namespace ndnp::attack {
+
+namespace {
+
+void validate(const DistinguisherConfig& config) {
+  if (config.x < 1 || config.t < 1 || config.rounds == 0)
+    throw std::invalid_argument("distinguisher: bad configuration");
+}
+
+/// Bayes-optimal guess given observed miss-prefix length m: pick the state
+/// whose exact distribution gives m more mass (ties -> "never requested").
+[[nodiscard]] bool guess_requested(const core::DiscreteDist& d0, const core::DiscreteDist& dx,
+                                   std::size_t m) {
+  const double p0 = m < d0.size() ? d0[m] : 0.0;
+  const double px = m < dx.size() ? dx[m] : 0.0;
+  return px > p0;
+}
+
+}  // namespace
+
+DistinguisherResult run_distinguishing_game(const core::KDistribution& dist,
+                                            const DistinguisherConfig& config) {
+  validate(config);
+  const core::DiscreteDist d0 = core::exact_output_distribution(dist, 0, config.t);
+  const core::DiscreteDist dx = core::exact_output_distribution(dist, config.x, config.t);
+
+  util::Rng rng(config.seed);
+  std::size_t correct = 0;
+  for (std::size_t round = 0; round < config.rounds; ++round) {
+    const bool requested = rng.bernoulli(0.5);
+    // Literal Algorithm 1 for one content.
+    const std::int64_t k = dist.sample(rng);
+    std::int64_t c = -1;
+    const auto request_is_miss = [&]() -> bool {
+      if (c < 0) {
+        c = 0;
+        return true;
+      }
+      ++c;
+      return c <= k;
+    };
+    if (requested)
+      for (std::int64_t i = 0; i < config.x; ++i) (void)request_is_miss();
+    std::size_t m = 0;
+    bool in_prefix = true;
+    for (std::int64_t i = 0; i < config.t; ++i) {
+      const bool miss = request_is_miss();
+      if (miss && in_prefix)
+        ++m;
+      else
+        in_prefix = false;
+    }
+    if (guess_requested(d0, dx, m) == requested) ++correct;
+  }
+
+  return {.accuracy = static_cast<double>(correct) / static_cast<double>(config.rounds),
+          .bayes_bound = 0.5 + 0.5 * core::total_variation(d0, dx)};
+}
+
+DistinguisherResult run_engine_distinguishing_game(const core::KDistribution& dist,
+                                                   const DistinguisherConfig& config) {
+  validate(config);
+  const core::DiscreteDist d0 = core::exact_output_distribution(dist, 0, config.t);
+  const core::DiscreteDist dx = core::exact_output_distribution(dist, config.x, config.t);
+
+  const util::SimDuration kFetchDelay = util::millis(25);
+  const core::CachePrivacyEngine::FetchFn fetch = [kFetchDelay](const ndn::Interest& interest) {
+    return std::pair{ndn::make_data(interest.name, "payload", "producer", "key",
+                                    /*producer_private=*/true),
+                     kFetchDelay};
+  };
+
+  util::Rng rng(config.seed);
+  std::size_t correct = 0;
+  for (std::size_t round = 0; round < config.rounds; ++round) {
+    // Fresh engine per round (the game is per-content; a fresh engine with
+    // one content is equivalent and keeps rounds independent).
+    core::CachePrivacyEngine engine(
+        0, cache::EvictionPolicy::kLru,
+        std::make_unique<core::RandomCachePolicy>(dist.clone(), rng.next_u64()));
+
+    ndn::Interest interest;
+    interest.name = ndn::Name("/victim/content").append_number(round);
+    interest.private_req = true;
+
+    const bool requested = rng.bernoulli(0.5);
+    util::SimTime now = 0;
+    if (requested)
+      for (std::int64_t i = 0; i < config.x; ++i) {
+        (void)engine.handle(interest, now, fetch);
+        now += util::millis(1);
+      }
+
+    // Adversary observes only response delay: zero delay = exposed hit.
+    std::size_t m = 0;
+    bool in_prefix = true;
+    for (std::int64_t i = 0; i < config.t; ++i) {
+      const core::RequestOutcome outcome = engine.handle(interest, now, fetch);
+      now += util::millis(1);
+      const bool looks_like_miss = outcome.response_delay > 0;
+      if (looks_like_miss && in_prefix)
+        ++m;
+      else
+        in_prefix = false;
+    }
+    if (guess_requested(d0, dx, m) == requested) ++correct;
+  }
+
+  return {.accuracy = static_cast<double>(correct) / static_cast<double>(config.rounds),
+          .bayes_bound = 0.5 + 0.5 * core::total_variation(d0, dx)};
+}
+
+}  // namespace ndnp::attack

@@ -1,0 +1,54 @@
+#include "attack/probes.hpp"
+
+namespace ndnp::attack {
+
+namespace {
+
+/// Send a scope=2 interest and run until Data or the timeout deadline.
+[[nodiscard]] bool probe_returns_data(sim::ProbeScenario& scenario, const ndn::Name& name,
+                                      util::SimDuration timeout) {
+  sim::Scheduler& scheduler = scenario.topology.scheduler();
+  bool got_data = false;
+  ndn::Interest interest;
+  interest.name = name;
+  interest.scope = 2;
+  scenario.adversary->express_interest(
+      interest, [&got_data](const ndn::Data&, util::SimDuration) { got_data = true; });
+  const util::SimTime deadline = scheduler.now() + timeout;
+  while (!got_data && scheduler.pending() > 0 && scheduler.now() < deadline)
+    (void)scheduler.run_one();
+  return got_data;
+}
+
+}  // namespace
+
+std::string_view to_string(ScopeProbeVerdict verdict) noexcept {
+  switch (verdict) {
+    case ScopeProbeVerdict::kCached: return "cached";
+    case ScopeProbeVerdict::kNotCached: return "not-cached";
+    case ScopeProbeVerdict::kInconclusive: return "inconclusive";
+  }
+  return "?";
+}
+
+bool detect_scope_honoring(sim::ProbeScenario& scenario, const ndn::Name& fresh_name,
+                           util::SimDuration timeout) {
+  // A fresh name cannot be in any cache: Data can only arrive if the
+  // router forwarded the scope=2 interest, i.e. ignored the field.
+  return !probe_returns_data(scenario, fresh_name, timeout);
+}
+
+ScopeProbeResult run_scope_probe(sim::ProbeScenario& scenario, const ndn::Name& name,
+                                 bool router_honors_scope, util::SimDuration timeout) {
+  ScopeProbeResult result;
+  result.data_returned = probe_returns_data(scenario, name, timeout);
+  if (!router_honors_scope) {
+    result.verdict = ScopeProbeVerdict::kInconclusive;
+  } else {
+    result.verdict =
+        result.data_returned ? ScopeProbeVerdict::kCached : ScopeProbeVerdict::kNotCached;
+  }
+  return result;
+}
+
+}  // namespace ndnp::attack

@@ -1,0 +1,43 @@
+// Non-timing cache probes (Section III).
+//
+// The scope probe abuses Interest.scope = 2: such an interest may traverse
+// only the source and its first-hop router, so any Data coming back from a
+// scope-honoring router *must* have been in that router's cache —
+// a deterministic oracle, no clock needed. Routers are allowed to ignore
+// the field, in which case the probe is inconclusive and the adversary
+// falls back to timing.
+#pragma once
+
+#include "sim/topology.hpp"
+#include "util/sim_time.hpp"
+
+namespace ndnp::attack {
+
+enum class ScopeProbeVerdict {
+  kCached,        // data returned under scope=2: definitely in R's cache
+  kNotCached,     // honoring router, no data: definitely not cached
+  kInconclusive,  // router ignores scope: probe carries no information
+};
+
+[[nodiscard]] std::string_view to_string(ScopeProbeVerdict verdict) noexcept;
+
+struct ScopeProbeResult {
+  ScopeProbeVerdict verdict = ScopeProbeVerdict::kInconclusive;
+  bool data_returned = false;
+};
+
+/// Detect whether the first-hop router honors scope: probe a fresh name
+/// with scope=2; if Data arrives anyway the router forwarded the interest
+/// and thus ignores the field. Consumes one fresh name.
+[[nodiscard]] bool detect_scope_honoring(sim::ProbeScenario& scenario,
+                                         const ndn::Name& fresh_name,
+                                         util::SimDuration timeout = util::millis(500));
+
+/// Probe `name` with scope=2 from the adversary. `router_honors_scope`
+/// should come from detect_scope_honoring (the adversary can establish it
+/// once per router).
+[[nodiscard]] ScopeProbeResult run_scope_probe(sim::ProbeScenario& scenario,
+                                               const ndn::Name& name, bool router_honors_scope,
+                                               util::SimDuration timeout = util::millis(500));
+
+}  // namespace ndnp::attack

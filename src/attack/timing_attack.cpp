@@ -1,0 +1,144 @@
+#include "attack/timing_attack.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+
+namespace ndnp::attack {
+
+namespace {
+
+/// Express an interest and run the scheduler until its Data arrives.
+/// Returns the measured RTT.
+util::SimDuration fetch_blocking(sim::Consumer& consumer, sim::Scheduler& scheduler,
+                                 const ndn::Name& name) {
+  std::optional<util::SimDuration> rtt;
+  consumer.fetch(name, [&rtt](const ndn::Data&, util::SimDuration r) { rtt = r; });
+  while (!rtt && scheduler.run_one()) {
+  }
+  if (!rtt)
+    throw std::runtime_error("timing_attack: fetch of " + name.to_uri() + " never completed");
+  return *rtt;
+}
+
+}  // namespace
+
+std::pair<double, double> best_threshold(const util::SampleSet& low,
+                                         const util::SampleSet& high) {
+  if (low.empty() || high.empty())
+    throw std::invalid_argument("best_threshold: need samples on both sides");
+  // Candidate thresholds: every observed value. O(n log n).
+  std::vector<double> all;
+  all.reserve(low.size() + high.size());
+  all.insert(all.end(), low.samples().begin(), low.samples().end());
+  all.insert(all.end(), high.samples().begin(), high.samples().end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+
+  std::vector<double> lo_sorted = low.samples();
+  std::vector<double> hi_sorted = high.samples();
+  std::sort(lo_sorted.begin(), lo_sorted.end());
+  std::sort(hi_sorted.begin(), hi_sorted.end());
+
+  const auto total = static_cast<double>(low.size() + high.size());
+  double best_thr = all.front();
+  double best_acc = 0.0;
+  for (const double thr : all) {
+    // Classify x < thr as "low"; count correct on both sides.
+    const auto lo_correct = static_cast<double>(
+        std::lower_bound(lo_sorted.begin(), lo_sorted.end(), thr) - lo_sorted.begin());
+    const auto hi_correct = static_cast<double>(
+        hi_sorted.end() - std::lower_bound(hi_sorted.begin(), hi_sorted.end(), thr));
+    const double acc = (lo_correct + hi_correct) / total;
+    if (acc > best_acc) {
+      best_acc = acc;
+      best_thr = thr;
+    }
+  }
+  return {best_thr, best_acc};
+}
+
+TimingAttackResult run_timing_attack(const TimingAttackConfig& config) {
+  if (!config.scenario_params)
+    throw std::invalid_argument("run_timing_attack: scenario_params is required");
+
+  TimingAttackResult result;
+  for (std::size_t trial = 0; trial < config.trials; ++trial) {
+    // Fresh scenario per trial: the paper restarts every run with an empty
+    // cache at R.
+    const auto scenario =
+        sim::make_probe_scenario(config.scenario_params(config.seed + trial));
+    sim::Scheduler& scheduler = scenario->topology.scheduler();
+    const ndn::Name base =
+        scenario->producer->prefix().append("t" + std::to_string(trial));
+
+    for (std::size_t i = 0; i < config.contents_per_trial; ++i) {
+      const ndn::Name cached_name = base.append("hit" + std::to_string(i));
+      const ndn::Name fresh_name = base.append("miss" + std::to_string(i));
+      if (config.producer_mode) {
+        // Figure 3(c): probe the same content twice. The first fetch finds
+        // it uncached (miss sample); the second finds it at R (hit sample).
+        result.miss_rtts_ms.add(util::to_millis(
+            fetch_blocking(*scenario->adversary, scheduler, fresh_name)));
+        result.hit_rtts_ms.add(util::to_millis(
+            fetch_blocking(*scenario->adversary, scheduler, fresh_name)));
+      } else {
+        // Figures 3(a,b,d): victim U fetches first, caching at R; the
+        // adversary then probes that content (hit) and a fresh one (miss).
+        (void)fetch_blocking(*scenario->user, scheduler, cached_name);
+        result.hit_rtts_ms.add(util::to_millis(
+            fetch_blocking(*scenario->adversary, scheduler, cached_name)));
+        result.miss_rtts_ms.add(util::to_millis(
+            fetch_blocking(*scenario->adversary, scheduler, fresh_name)));
+      }
+    }
+  }
+
+  result.bayes_accuracy = util::bayes_accuracy(result.hit_rtts_ms, result.miss_rtts_ms, 64);
+  const auto [thr, acc] = best_threshold(result.hit_rtts_ms, result.miss_rtts_ms);
+  result.threshold_ms = thr;
+  result.threshold_accuracy = acc;
+  return result;
+}
+
+double run_decision_protocol(const TimingAttackConfig& config) {
+  if (!config.scenario_params)
+    throw std::invalid_argument("run_decision_protocol: scenario_params is required");
+
+  util::Rng coin(config.seed ^ 0xabcdef1234567890ULL);
+  std::size_t correct = 0;
+  constexpr std::size_t kCalibrationProbes = 3;
+
+  for (std::size_t trial = 0; trial < config.trials; ++trial) {
+    const auto scenario =
+        sim::make_probe_scenario(config.scenario_params(config.seed + trial));
+    sim::Scheduler& scheduler = scenario->topology.scheduler();
+    const ndn::Name base =
+        scenario->producer->prefix().append("t" + std::to_string(trial));
+
+    // Calibration: fetch throwaway content twice; first fetch samples the
+    // miss reference, second the hit reference.
+    double miss_ref = 0.0;
+    double hit_ref = 0.0;
+    for (std::size_t i = 0; i < kCalibrationProbes; ++i) {
+      const ndn::Name calib = base.append("calib" + std::to_string(i));
+      miss_ref += util::to_millis(fetch_blocking(*scenario->adversary, scheduler, calib));
+      hit_ref += util::to_millis(fetch_blocking(*scenario->adversary, scheduler, calib));
+    }
+    miss_ref /= kCalibrationProbes;
+    hit_ref /= kCalibrationProbes;
+
+    // The victim requests the target with probability 1/2, unknown to Adv.
+    const ndn::Name target = base.append("target");
+    const bool requested = coin.bernoulli(0.5);
+    if (requested) (void)fetch_blocking(*scenario->user, scheduler, target);
+
+    const double d1 =
+        util::to_millis(fetch_blocking(*scenario->adversary, scheduler, target));
+    const bool verdict = std::abs(d1 - hit_ref) < std::abs(d1 - miss_ref);
+    if (verdict == requested) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(config.trials);
+}
+
+}  // namespace ndnp::attack

@@ -1,0 +1,66 @@
+// Cache-probing timing attacks (Section III).
+//
+// The adversary measures round-trip times through its first-hop router R
+// and classifies each probe as "served from R's cache" (the victim
+// requested it recently) or "fetched from further away". This module runs
+// the experiment the paper runs: many trials, each with a fresh cache,
+// collecting the hit and miss RTT distributions, then reports how well the
+// two separate — via the Bayes-optimal classifier (the paper's
+// "probability of determining whether C is retrieved from R's cache") and
+// via a realistic single-threshold adversary.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/topology.hpp"
+#include "util/stats.hpp"
+
+namespace ndnp::attack {
+
+struct TimingAttackConfig {
+  /// Independent trials; each starts from an empty cache (fresh scenario).
+  std::size_t trials = 50;
+  /// Distinct content objects probed per trial.
+  std::size_t contents_per_trial = 20;
+  /// Scenario factory (one of the sim::*_scenario_params figures, possibly
+  /// with a countermeasure policy installed at R).
+  std::function<sim::ScenarioParams(std::uint64_t seed)> scenario_params;
+  /// In consumer mode the victim U fetches the content before the
+  /// adversary probes (consumer privacy, Figures 3(a,b,d)); in producer
+  /// mode nobody prefetches and the adversary probes the same content
+  /// twice (producer privacy, Figure 3(c)).
+  bool producer_mode = false;
+  std::uint64_t seed = 42;
+};
+
+struct TimingAttackResult {
+  util::SampleSet hit_rtts_ms;
+  util::SampleSet miss_rtts_ms;
+
+  /// Accuracy of the Bayes-optimal classifier on the empirical
+  /// distributions: 1/2 + TV/2.
+  double bayes_accuracy = 0.0;
+
+  /// Best single RTT threshold (hit below, miss above) and its accuracy —
+  /// what a practical adversary with a calibration phase achieves.
+  double threshold_ms = 0.0;
+  double threshold_accuracy = 0.0;
+};
+
+/// Collect hit/miss RTT distributions and classifier accuracies.
+[[nodiscard]] TimingAttackResult run_timing_attack(const TimingAttackConfig& config);
+
+/// End-to-end adversary protocol success rate: per trial the victim's
+/// request happens with probability 1/2 (unknown to Adv); Adv calibrates
+/// d_hit/d_miss references on throwaway content, probes the target once and
+/// decides by nearest reference. Returns the fraction of correct verdicts.
+[[nodiscard]] double run_decision_protocol(const TimingAttackConfig& config);
+
+/// Fit the best single-threshold classifier between two sample sets
+/// (exposed for reuse and tests). Returns {threshold, accuracy}: samples
+/// below the threshold are classified into `low`.
+[[nodiscard]] std::pair<double, double> best_threshold(const util::SampleSet& low,
+                                                       const util::SampleSet& high);
+
+}  // namespace ndnp::attack

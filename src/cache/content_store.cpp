@@ -1,0 +1,176 @@
+#include "cache/content_store.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ndnp::cache {
+
+std::string_view to_string(EvictionPolicy policy) noexcept {
+  switch (policy) {
+    case EvictionPolicy::kLru: return "LRU";
+    case EvictionPolicy::kFifo: return "FIFO";
+    case EvictionPolicy::kLfu: return "LFU";
+    case EvictionPolicy::kRandom: return "Random";
+  }
+  return "?";
+}
+
+ContentStore::ContentStore(std::size_t capacity, EvictionPolicy policy, std::uint64_t seed)
+    : capacity_(capacity), policy_(policy), rng_(seed) {}
+
+Entry& ContentStore::insert(ndn::Data data, EntryMeta meta) {
+  ++stats_.inserts;
+  const ndn::Name name = data.name;
+
+  if (auto it = entries_.find(name); it != entries_.end()) {
+    // Overwrite in place; keep eviction position (refresh handled by
+    // touch() from the caller if desired).
+    it->second.entry.data = std::move(data);
+    it->second.entry.meta = meta;
+    return it->second.entry;
+  }
+
+  if (!unbounded() && entries_.size() >= capacity_) {
+    const ndn::Name victim = pick_victim();
+    erase(victim);
+    ++stats_.evictions;
+  }
+
+  auto [it, inserted] = entries_.emplace(name, Node{});
+  assert(inserted);
+  it->second.entry.data = std::move(data);
+  it->second.entry.meta = meta;
+  index_insert(name, it->second);
+  return it->second.entry;
+}
+
+Entry* ContentStore::find(const ndn::Interest& interest, util::SimTime now) {
+  ++stats_.lookups;
+  const bool check_freshness = interest.must_be_fresh && now != util::kTimeUnset;
+  // All names having interest.name as a prefix sort as a contiguous range
+  // starting at lower_bound(interest.name).
+  for (auto it = entries_.lower_bound(interest.name); it != entries_.end(); ++it) {
+    if (!interest.name.is_prefix_of(it->first)) break;
+    if (!it->second.entry.data.satisfies(interest)) continue;  // e.g. exact-match-only sibling
+    if (check_freshness && !it->second.entry.fresh_at(now)) continue;  // stale
+    ++stats_.matches;
+    return &it->second.entry;
+  }
+  return nullptr;
+}
+
+const Entry* ContentStore::find(const ndn::Interest& interest, util::SimTime now) const {
+  return const_cast<ContentStore*>(this)->find(interest, now);
+}
+
+Entry* ContentStore::find_exact(const ndn::Name& name) {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second.entry;
+}
+
+const Entry* ContentStore::find_exact(const ndn::Name& name) const {
+  return const_cast<ContentStore*>(this)->find_exact(name);
+}
+
+void ContentStore::touch(Entry& entry, util::SimTime now) {
+  entry.meta.last_access = now;
+  const auto it = entries_.find(entry.data.name);
+  assert(it != entries_.end() && &it->second.entry == &entry);
+  index_access(it->second);
+}
+
+bool ContentStore::erase(const ndn::Name& name) {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return false;
+  index_erase(it->second);
+  entries_.erase(it);
+  return true;
+}
+
+void ContentStore::clear() {
+  entries_.clear();
+  order_.clear();
+  by_freq_.clear();
+  by_index_.clear();
+}
+
+bool ContentStore::contains(const ndn::Name& name) const { return entries_.contains(name); }
+
+void ContentStore::index_insert(const ndn::Name& name, Node& node) {
+  switch (policy_) {
+    case EvictionPolicy::kLru:
+    case EvictionPolicy::kFifo:
+      order_.push_front(name);
+      node.order_it = order_.begin();
+      break;
+    case EvictionPolicy::kLfu:
+      node.freq = 1;
+      node.freq_it = by_freq_.emplace(node.freq, name);
+      break;
+    case EvictionPolicy::kRandom:
+      node.vec_index = by_index_.size();
+      by_index_.push_back(name);
+      break;
+  }
+}
+
+void ContentStore::index_access(Node& node) {
+  switch (policy_) {
+    case EvictionPolicy::kLru:
+      order_.splice(order_.begin(), order_, node.order_it);  // move-to-front
+      break;
+    case EvictionPolicy::kFifo:
+      break;  // insertion order is immutable
+    case EvictionPolicy::kLfu: {
+      const ndn::Name name = node.freq_it->second;
+      by_freq_.erase(node.freq_it);
+      ++node.freq;
+      node.freq_it = by_freq_.emplace(node.freq, name);
+      break;
+    }
+    case EvictionPolicy::kRandom:
+      break;
+  }
+}
+
+void ContentStore::index_erase(Node& node) {
+  switch (policy_) {
+    case EvictionPolicy::kLru:
+    case EvictionPolicy::kFifo:
+      order_.erase(node.order_it);
+      break;
+    case EvictionPolicy::kLfu:
+      by_freq_.erase(node.freq_it);
+      break;
+    case EvictionPolicy::kRandom: {
+      // Swap-and-pop; fix the moved element's back-pointer.
+      const std::size_t idx = node.vec_index;
+      if (idx + 1 != by_index_.size()) {
+        by_index_[idx] = std::move(by_index_.back());
+        const auto moved = entries_.find(by_index_[idx]);
+        assert(moved != entries_.end());
+        moved->second.vec_index = idx;
+      }
+      by_index_.pop_back();
+      break;
+    }
+  }
+}
+
+ndn::Name ContentStore::pick_victim() {
+  switch (policy_) {
+    case EvictionPolicy::kLru:
+    case EvictionPolicy::kFifo:
+      if (order_.empty()) throw std::logic_error("ContentStore: eviction from empty cache");
+      return order_.back();  // LRU tail = least recent; FIFO tail = oldest
+    case EvictionPolicy::kLfu:
+      if (by_freq_.empty()) throw std::logic_error("ContentStore: eviction from empty cache");
+      return by_freq_.begin()->second;
+    case EvictionPolicy::kRandom:
+      if (by_index_.empty()) throw std::logic_error("ContentStore: eviction from empty cache");
+      return by_index_[rng_.uniform_u64(by_index_.size())];
+  }
+  throw std::logic_error("ContentStore: unknown policy");
+}
+
+}  // namespace ndnp::cache

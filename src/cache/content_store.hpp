@@ -1,0 +1,159 @@
+// Content Store (CS): the router-side cache at the heart of the paper.
+//
+// The CS maps full content names to Data packets plus the per-entry
+// metadata the privacy policies need (Section IV's state function S and
+// Algorithm 1's per-content counter c_C / threshold k_C live here).
+// Capacity is bounded; eviction is pluggable (the paper's evaluation uses
+// LRU; FIFO/LFU/random are provided for the eviction ablation bench).
+//
+// Lookup follows NDN matching: an interest for name N is satisfied by any
+// cached Data whose name has N as a prefix — except exact-match-only
+// content (unpredictable names), which requires full-name equality.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "ndn/packet.hpp"
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace ndnp::cache {
+
+enum class EvictionPolicy { kLru, kFifo, kLfu, kRandom };
+
+[[nodiscard]] std::string_view to_string(EvictionPolicy policy) noexcept;
+
+/// Metadata the privacy layer (core/) keeps per cached entry.
+struct EntryMeta {
+  /// When the entry was inserted.
+  util::SimTime inserted_at = util::kTimeUnset;
+  /// Last access (exposed hit, delayed hit or simulated miss — the paper:
+  /// "the corresponding cache entry becomes fresh even if the response is
+  /// delayed").
+  util::SimTime last_access = util::kTimeUnset;
+  /// gamma_C: interest-in -> content-out delay observed when the router
+  /// first fetched this content (drives the content-specific delay policy).
+  util::SimDuration fetch_delay = 0;
+  /// c_C of Algorithm 1: number of requests since insertion (maintained by
+  /// RandomCache policies; the first request that caused the fetch is not
+  /// counted, matching "cC := 0" on insertion).
+  std::uint64_t request_count = 0;
+  /// k_C of Algorithm 1; negative = not yet sampled.
+  std::int64_t k_threshold = -1;
+  /// Entry is currently treated as private by the router.
+  bool treated_private = false;
+  /// The non-private trigger has fired (Section V-B): a producer-unmarked
+  /// entry was requested without the privacy bit and is de-privatized for
+  /// its remaining cache lifetime.
+  bool deprivatized = false;
+};
+
+struct Entry {
+  ndn::Data data;
+  EntryMeta meta;
+
+  /// Whether the cached copy is still fresh at `now` (fresh forever when
+  /// the producer set no freshness period).
+  [[nodiscard]] bool fresh_at(util::SimTime now) const noexcept {
+    return !data.freshness_period ||
+           now <= meta.inserted_at + *data.freshness_period;
+  }
+};
+
+/// Raw cache counters (mechanical; privacy-visible hit/miss accounting is
+/// done a layer up where the policy decides what to expose).
+struct CacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t matches = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t evictions = 0;
+};
+
+class ContentStore {
+ public:
+  /// capacity == 0 means unlimited (the paper's "Inf" baseline).
+  /// `seed` feeds random eviction only.
+  explicit ContentStore(std::size_t capacity, EvictionPolicy policy = EvictionPolicy::kLru,
+                        std::uint64_t seed = 0);
+
+  ContentStore(const ContentStore&) = delete;
+  ContentStore& operator=(const ContentStore&) = delete;
+
+  /// Insert (or overwrite) content. Evicts per policy if at capacity.
+  /// Returns the stored entry. `meta.inserted_at`/`last_access` should be
+  /// set by the caller (the router knows the simulation clock).
+  Entry& insert(ndn::Data data, EntryMeta meta);
+
+  /// Find a match for `interest` (prefix semantics, exact-only honored).
+  /// Does NOT touch recency — callers decide whether an access "counts"
+  /// via touch(). Returns nullptr on miss. Among multiple matches the
+  /// lexicographically smallest matching name is returned (deterministic,
+  /// mirroring NDN's canonical-order selector default).
+  ///
+  /// When `now` is supplied and the interest sets MustBeFresh, stale
+  /// entries are skipped as if absent; with the default kTimeUnset,
+  /// freshness is not evaluated.
+  [[nodiscard]] Entry* find(const ndn::Interest& interest,
+                            util::SimTime now = util::kTimeUnset);
+  [[nodiscard]] const Entry* find(const ndn::Interest& interest,
+                                  util::SimTime now = util::kTimeUnset) const;
+
+  /// Exact full-name lookup.
+  [[nodiscard]] Entry* find_exact(const ndn::Name& name);
+  [[nodiscard]] const Entry* find_exact(const ndn::Name& name) const;
+
+  /// Record an access for eviction ordering (LRU move-to-front, LFU count
+  /// bump) and update meta.last_access.
+  void touch(Entry& entry, util::SimTime now);
+
+  /// Remove by exact name; returns true if something was erased.
+  bool erase(const ndn::Name& name);
+
+  void clear();
+
+  [[nodiscard]] bool contains(const ndn::Name& name) const;
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool unbounded() const noexcept { return capacity_ == 0; }
+  [[nodiscard]] EvictionPolicy policy() const noexcept { return policy_; }
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+
+  /// Iterate over all entries (test/diagnostic use).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [name, node] : entries_) fn(node.entry);
+  }
+
+ private:
+  struct Node {
+    Entry entry;
+    // Handle into the eviction structure appropriate for the policy:
+    std::list<ndn::Name>::iterator order_it{};            // LRU / FIFO
+    std::multimap<std::uint64_t, ndn::Name>::iterator freq_it{};  // LFU
+    std::size_t vec_index = 0;                             // Random
+    std::uint64_t freq = 0;                                // LFU count
+  };
+
+  void index_insert(const ndn::Name& name, Node& node);
+  void index_access(Node& node);
+  void index_erase(Node& node);
+  [[nodiscard]] ndn::Name pick_victim();
+
+  std::size_t capacity_;
+  EvictionPolicy policy_;
+  util::Rng rng_;
+  // Ordered map: names sharing a prefix are contiguous, so prefix lookup is
+  // lower_bound + adjacency check, O(log n).
+  std::map<ndn::Name, Node> entries_;
+  std::list<ndn::Name> order_;                       // LRU (front = MRU) / FIFO (front = newest)
+  std::multimap<std::uint64_t, ndn::Name> by_freq_;  // LFU (begin = coldest)
+  std::vector<ndn::Name> by_index_;                  // Random
+  CacheStats stats_;
+};
+
+}  // namespace ndnp::cache

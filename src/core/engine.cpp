@@ -1,0 +1,90 @@
+#include "core/engine.hpp"
+
+#include <stdexcept>
+
+namespace ndnp::core {
+
+std::string_view to_string(RequestOutcome::Kind kind) noexcept {
+  switch (kind) {
+    case RequestOutcome::Kind::kTrueMiss: return "TrueMiss";
+    case RequestOutcome::Kind::kExposedHit: return "ExposedHit";
+    case RequestOutcome::Kind::kDelayedHit: return "DelayedHit";
+    case RequestOutcome::Kind::kSimulatedMiss: return "SimulatedMiss";
+  }
+  return "?";
+}
+
+CachePrivacyEngine::CachePrivacyEngine(std::size_t cache_capacity,
+                                       cache::EvictionPolicy eviction,
+                                       std::unique_ptr<CachePrivacyPolicy> policy,
+                                       std::uint64_t seed,
+                                       double cache_admission_probability)
+    : store_(cache_capacity, eviction, seed),
+      policy_(std::move(policy)),
+      rng_(seed ^ 0xd1b54a32d192ed03ULL),
+      admission_probability_(cache_admission_probability) {
+  if (!policy_) throw std::invalid_argument("CachePrivacyEngine: null policy");
+  if (admission_probability_ < 0.0 || admission_probability_ > 1.0)
+    throw std::invalid_argument("CachePrivacyEngine: admission probability must be in [0,1]");
+}
+
+RequestOutcome CachePrivacyEngine::handle(const ndn::Interest& interest, util::SimTime now,
+                                          const FetchFn& fetch) {
+  ++stats_.requests;
+
+  if (cache::Entry* entry = store_.find(interest)) {
+    const bool effective_private = resolve_effective_privacy(*entry, interest);
+    const LookupDecision decision =
+        policy_->on_cached_lookup(*entry, interest, effective_private, now);
+    // Any access refreshes recency — "the corresponding cache entry becomes
+    // fresh even if the response is delayed" — and a simulated miss is
+    // still an access.
+    store_.touch(*entry, now);
+    switch (decision.action) {
+      case LookupAction::kExposeHit:
+        ++stats_.exposed_hits;
+        return {.kind = RequestOutcome::Kind::kExposedHit,
+                .response_delay = 0,
+                .served_from_cache = true};
+      case LookupAction::kDelayedHit:
+        ++stats_.delayed_hits;
+        return {.kind = RequestOutcome::Kind::kDelayedHit,
+                .response_delay = decision.artificial_delay,
+                .served_from_cache = true};
+      case LookupAction::kSimulatedMiss: {
+        // Mimic a miss faithfully: the response takes as long as the
+        // original upstream fetch took.
+        ++stats_.simulated_misses;
+        return {.kind = RequestOutcome::Kind::kSimulatedMiss,
+                .response_delay = entry->meta.fetch_delay,
+                .served_from_cache = false};
+      }
+    }
+  }
+
+  // True miss: fetch upstream, cache (subject to admission), and respond
+  // after the fetch delay (padded by the policy when it hides miss/hit
+  // asymmetry).
+  ++stats_.true_misses;
+  auto [data, fetch_delay] = fetch(interest);
+  if (admission_probability_ < 1.0 && !rng_.bernoulli(admission_probability_)) {
+    const bool would_be_private = data.producer_marked_private() || interest.private_req;
+    return {.kind = RequestOutcome::Kind::kTrueMiss,
+            .response_delay = policy_->miss_response_delay(fetch_delay, would_be_private),
+            .served_from_cache = false};
+  }
+  cache::EntryMeta meta;
+  meta.inserted_at = now;
+  meta.last_access = now;
+  meta.fetch_delay = fetch_delay;
+  cache::Entry& entry = store_.insert(std::move(data), meta);
+  init_privacy_marking(entry, interest);
+  policy_->on_insert(entry, interest, now);
+  const util::SimDuration response =
+      policy_->miss_response_delay(fetch_delay, entry.meta.treated_private);
+  return {.kind = RequestOutcome::Kind::kTrueMiss,
+          .response_delay = response,
+          .served_from_cache = false};
+}
+
+}  // namespace ndnp::core

@@ -1,0 +1,95 @@
+// CachePrivacyEngine: a single router's cache + privacy policy + marking
+// rules + accounting, packaged for trace replay and unit testing.
+//
+// This is the standalone (non-event-driven) counterpart of the forwarder in
+// sim/: it drives exactly the same policy objects against a ContentStore,
+// with the caller supplying "what would the upstream return" as a callback.
+// Section VII's evaluation (Figure 5) runs entirely on this engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "cache/content_store.hpp"
+#include "core/policy.hpp"
+#include "util/rng.hpp"
+
+namespace ndnp::core {
+
+/// Outcome of one request, as observable by the requester and as accounted
+/// by the evaluation.
+struct RequestOutcome {
+  enum class Kind {
+    kTrueMiss,       // content was not cached; fetched upstream
+    kExposedHit,     // served from cache, hit visible
+    kDelayedHit,     // served from cache behind an artificial delay
+    kSimulatedMiss,  // cached, but the policy mimicked a miss
+  };
+
+  Kind kind = Kind::kTrueMiss;
+  /// Total response delay presented to the requester (artificial delays and
+  /// miss padding included; 0 for an exposed hit at the cache).
+  util::SimDuration response_delay = 0;
+  /// Whether the payload actually came from the cache (bandwidth view):
+  /// true for exposed and delayed hits.
+  bool served_from_cache = false;
+};
+
+[[nodiscard]] std::string_view to_string(RequestOutcome::Kind kind) noexcept;
+
+/// Counters over all handled requests. "Hit rate" in the paper's Figure 5
+/// sense counts only exposed hits.
+struct EngineStats {
+  std::uint64_t requests = 0;
+  std::uint64_t exposed_hits = 0;
+  std::uint64_t delayed_hits = 0;
+  std::uint64_t simulated_misses = 0;
+  std::uint64_t true_misses = 0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(exposed_hits) / static_cast<double>(requests);
+  }
+  /// Fraction of requests served from the cache regardless of visibility —
+  /// the bandwidth-saving view under which Always-Delay is free.
+  [[nodiscard]] double cache_served_rate() const noexcept {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(exposed_hits + delayed_hits) /
+                               static_cast<double>(requests);
+  }
+};
+
+class CachePrivacyEngine {
+ public:
+  /// Upstream oracle: returns the Data for an interest plus the fetch
+  /// delay the router would observe (interest-in -> content-out).
+  using FetchFn =
+      std::function<std::pair<ndn::Data, util::SimDuration>(const ndn::Interest&)>;
+
+  /// `cache_admission_probability` < 1 enables probabilistic admission:
+  /// fetched content enters the CS only with that probability (1 = cache
+  /// everything, the paper's setting).
+  CachePrivacyEngine(std::size_t cache_capacity, cache::EvictionPolicy eviction,
+                     std::unique_ptr<CachePrivacyPolicy> policy, std::uint64_t seed = 0,
+                     double cache_admission_probability = 1.0);
+
+  /// Handle one interest at simulation time `now`.
+  RequestOutcome handle(const ndn::Interest& interest, util::SimTime now, const FetchFn& fetch);
+
+  [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const cache::ContentStore& store() const noexcept { return store_; }
+  [[nodiscard]] cache::ContentStore& store() noexcept { return store_; }
+  [[nodiscard]] const CachePrivacyPolicy& policy() const noexcept { return *policy_; }
+
+  void reset_stats() noexcept { stats_ = {}; }
+
+ private:
+  cache::ContentStore store_;
+  std::unique_ptr<CachePrivacyPolicy> policy_;
+  util::Rng rng_;
+  double admission_probability_;
+  EngineStats stats_;
+};
+
+}  // namespace ndnp::core

@@ -1,0 +1,120 @@
+#include "core/indistinguishability.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ndnp::core {
+
+DiscreteDist exact_output_distribution(const KDistribution& dist, std::int64_t x, std::int64_t t) {
+  if (x < 0) throw std::invalid_argument("exact_output_distribution: x must be >= 0");
+  if (t < 1) throw std::invalid_argument("exact_output_distribution: t must be >= 1");
+  DiscreteDist out(static_cast<std::size_t>(t) + 1, 0.0);
+  for (std::int64_t k = 0; k < dist.domain_size(); ++k) {
+    const std::int64_t m = std::clamp<std::int64_t>(k - x + 1, 0, t);
+    out[static_cast<std::size_t>(m)] += dist.pmf(k);
+  }
+  return out;
+}
+
+DiscreteDist empirical_output_distribution(const KDistribution& dist, std::int64_t x,
+                                           std::int64_t t, std::size_t trials,
+                                           std::uint64_t seed) {
+  if (x < 0 || t < 1 || trials == 0)
+    throw std::invalid_argument("empirical_output_distribution: bad arguments");
+  util::Rng rng(seed);
+  DiscreteDist out(static_cast<std::size_t>(t) + 1, 0.0);
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    // Literal Algorithm 1 state for one content.
+    const std::int64_t k = dist.sample(rng);
+    std::int64_t c = -1;  // -1 = not yet in T
+    const auto request_is_miss = [&]() -> bool {
+      if (c < 0) {
+        c = 0;  // first request: insert, always a miss
+        return true;
+      }
+      ++c;
+      return c <= k;
+    };
+    for (std::int64_t i = 0; i < x; ++i) (void)request_is_miss();  // honest prior requests
+    std::int64_t m = 0;
+    bool in_prefix = true;
+    for (std::int64_t i = 0; i < t; ++i) {
+      const bool miss = request_is_miss();
+      if (miss && in_prefix)
+        ++m;
+      else
+        in_prefix = false;
+    }
+    out[static_cast<std::size_t>(m)] += 1.0;
+  }
+  for (double& p : out) p /= static_cast<double>(trials);
+  return out;
+}
+
+namespace {
+
+[[nodiscard]] std::pair<DiscreteDist, DiscreteDist> padded(const DiscreteDist& a,
+                                                           const DiscreteDist& b) {
+  DiscreteDist pa = a;
+  DiscreteDist pb = b;
+  const std::size_t n = std::max(pa.size(), pb.size());
+  pa.resize(n, 0.0);
+  pb.resize(n, 0.0);
+  return {std::move(pa), std::move(pb)};
+}
+
+}  // namespace
+
+double total_variation(const DiscreteDist& a, const DiscreteDist& b) {
+  const auto [pa, pb] = padded(a, b);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pa.size(); ++i) acc += std::abs(pa[i] - pb[i]);
+  return 0.5 * acc;
+}
+
+double delta_for_epsilon(const DiscreteDist& a, const DiscreteDist& b, double epsilon) {
+  if (epsilon < 0.0) throw std::invalid_argument("delta_for_epsilon: epsilon must be >= 0");
+  const auto [pa, pb] = padded(a, b);
+  const double bound = std::exp(epsilon);
+  double delta = 0.0;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    if (pa[i] == 0.0 && pb[i] == 0.0) continue;
+    // Outcome stays in Omega_1 iff both ratios are within [e^-eps, e^eps];
+    // a zero on either side forces it into Omega_2.
+    const bool bounded =
+        pa[i] > 0.0 && pb[i] > 0.0 && pa[i] <= bound * pb[i] && pb[i] <= bound * pa[i];
+    if (!bounded) delta += pa[i] + pb[i];
+  }
+  return delta;
+}
+
+double min_epsilon_for_delta(const DiscreteDist& a, const DiscreteDist& b, double delta) {
+  if (delta < 0.0) throw std::invalid_argument("min_epsilon_for_delta: delta must be >= 0");
+  const auto [pa, pb] = padded(a, b);
+  double one_sided = 0.0;  // outcomes that must be in Omega_2 at any epsilon
+  std::vector<std::pair<double, double>> ratio_mass;  // (|log ratio|, pa+pb)
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    if (pa[i] == 0.0 && pb[i] == 0.0) continue;
+    if (pa[i] == 0.0 || pb[i] == 0.0) {
+      one_sided += pa[i] + pb[i];
+    } else {
+      ratio_mass.emplace_back(std::abs(std::log(pa[i] / pb[i])), pa[i] + pb[i]);
+    }
+  }
+  if (one_sided > delta) return std::numeric_limits<double>::infinity();
+  // Move the largest-ratio outcomes into Omega_2 while the budget allows;
+  // epsilon is then the largest ratio left in Omega_1.
+  std::sort(ratio_mass.begin(), ratio_mass.end(),
+            [](const auto& x, const auto& y) { return x.first > y.first; });
+  double budget = delta - one_sided;
+  std::size_t i = 0;
+  while (i < ratio_mass.size() && ratio_mass[i].second <= budget) {
+    budget -= ratio_mass[i].second;
+    ++i;
+  }
+  return i < ratio_mass.size() ? ratio_mass[i].first : 0.0;
+}
+
+}  // namespace ndnp::core

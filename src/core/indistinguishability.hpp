@@ -1,0 +1,54 @@
+// (epsilon, delta)-probabilistic indistinguishability (Definition IV.1) and
+// exact/empirical output distributions of Random-Cache probes.
+//
+// The adversary's view after t consecutive probes of one content is a
+// binary sequence that is always a (possibly empty) run of cache misses
+// followed by hits, so it is fully described by its miss-prefix length
+// m in {0..t}. For threshold k_C = k and x prior requests by honest users,
+// Algorithm 1 yields exactly
+//     m = clamp(k - x + 1, 0, t)
+// (x = 0 means "never requested": the first probe is a compulsory miss).
+// Comparing the distribution of m under x = 0 and under 1 <= x <= k is
+// exactly the game of Definition IV.3; the functions here compute those
+// distributions and the (epsilon, delta) budgets separating them, which
+// the tests check against Theorems VI.1 and VI.3.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/k_distribution.hpp"
+
+namespace ndnp::core {
+
+/// Probability vector over outcomes {0, 1, ..., size-1}.
+using DiscreteDist = std::vector<double>;
+
+/// Exact distribution of the miss-prefix length over t probes, given x
+/// prior honest requests, under threshold distribution `dist`.
+[[nodiscard]] DiscreteDist exact_output_distribution(const KDistribution& dist, std::int64_t x,
+                                                     std::int64_t t);
+
+/// Same distribution estimated by literally executing Algorithm 1 `trials`
+/// times — validates that the implementation and the closed form agree.
+[[nodiscard]] DiscreteDist empirical_output_distribution(const KDistribution& dist, std::int64_t x,
+                                                         std::int64_t t, std::size_t trials,
+                                                         std::uint64_t seed);
+
+/// Total-variation distance between two outcome distributions (padded to a
+/// common length with zeros).
+[[nodiscard]] double total_variation(const DiscreteDist& a, const DiscreteDist& b);
+
+/// Minimal delta such that (epsilon, delta)-indistinguishability holds:
+/// all outcomes whose probability ratio lies within [e^-eps, e^eps] go to
+/// Omega_1; delta is the total probability (under both) of the rest.
+[[nodiscard]] double delta_for_epsilon(const DiscreteDist& a, const DiscreteDist& b,
+                                       double epsilon);
+
+/// Minimal epsilon such that (epsilon, delta)-indistinguishability holds
+/// for the given delta budget; +infinity if even removing every
+/// finite-ratio outcome cannot fit the one-sided mass within delta.
+[[nodiscard]] double min_epsilon_for_delta(const DiscreteDist& a, const DiscreteDist& b,
+                                           double delta);
+
+}  // namespace ndnp::core

@@ -1,0 +1,82 @@
+#include "core/k_distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ndnp::core {
+
+double KDistribution::mean() const {
+  double acc = 0.0;
+  for (std::int64_t k = 0; k < domain_size(); ++k) acc += static_cast<double>(k) * pmf(k);
+  return acc;
+}
+
+double KDistribution::tail(std::int64_t k) const {
+  double acc = 0.0;
+  for (std::int64_t i = std::max<std::int64_t>(k, 0); i < domain_size(); ++i) acc += pmf(i);
+  return acc;
+}
+
+UniformK::UniformK(std::int64_t domain) : domain_(domain) {
+  if (domain <= 0) throw std::invalid_argument("UniformK: domain must be positive");
+}
+
+std::int64_t UniformK::sample(util::Rng& rng) const {
+  return static_cast<std::int64_t>(rng.uniform_u64(static_cast<std::uint64_t>(domain_)));
+}
+
+double UniformK::pmf(std::int64_t k) const {
+  if (k < 0 || k >= domain_) return 0.0;
+  return 1.0 / static_cast<double>(domain_);
+}
+
+std::string UniformK::name() const { return "Uniform(K=" + std::to_string(domain_) + ")"; }
+
+std::unique_ptr<KDistribution> UniformK::clone() const { return std::make_unique<UniformK>(*this); }
+
+TruncatedGeometricK::TruncatedGeometricK(double alpha, std::int64_t domain)
+    : alpha_(alpha), domain_(domain) {
+  if (domain <= 0) throw std::invalid_argument("TruncatedGeometricK: domain must be positive");
+  if (!(alpha > 0.0) || !(alpha < 1.0))
+    throw std::invalid_argument("TruncatedGeometricK: alpha must be in (0,1)");
+}
+
+std::int64_t TruncatedGeometricK::sample(util::Rng& rng) const {
+  // Rejection-free inverse transform on the truncated support:
+  // F(r) = (1 - a^{r+1}) / (1 - a^K); r = floor(log_a(1 - u (1 - a^K))).
+  const double u = rng.uniform01();
+  const double z = 1.0 - u * (1.0 - std::pow(alpha_, static_cast<double>(domain_)));
+  const auto r = static_cast<std::int64_t>(std::floor(std::log(z) / std::log(alpha_)));
+  return std::clamp<std::int64_t>(r, 0, domain_ - 1);
+}
+
+double TruncatedGeometricK::pmf(std::int64_t k) const {
+  if (k < 0 || k >= domain_) return 0.0;
+  const double norm = 1.0 - std::pow(alpha_, static_cast<double>(domain_));
+  return (1.0 - alpha_) * std::pow(alpha_, static_cast<double>(k)) / norm;
+}
+
+std::string TruncatedGeometricK::name() const {
+  return "TruncGeom(alpha=" + std::to_string(alpha_) + ",K=" + std::to_string(domain_) + ")";
+}
+
+std::unique_ptr<KDistribution> TruncatedGeometricK::clone() const {
+  return std::make_unique<TruncatedGeometricK>(*this);
+}
+
+DegenerateK::DegenerateK(std::int64_t k0) : k0_(k0) {
+  if (k0 < 0) throw std::invalid_argument("DegenerateK: k0 must be non-negative");
+}
+
+std::int64_t DegenerateK::sample(util::Rng&) const { return k0_; }
+
+double DegenerateK::pmf(std::int64_t k) const { return k == k0_ ? 1.0 : 0.0; }
+
+std::string DegenerateK::name() const { return "Degenerate(k=" + std::to_string(k0_) + ")"; }
+
+std::unique_ptr<KDistribution> DegenerateK::clone() const {
+  return std::make_unique<DegenerateK>(*this);
+}
+
+}  // namespace ndnp::core

@@ -1,0 +1,100 @@
+// Distributions of the per-content threshold K used by Random-Cache
+// (Algorithm 1 of the paper).
+//
+// Random-Cache samples, for each newly cached content C, a threshold
+// k_C ~ K over [0, K); the router then answers the first k_C post-insertion
+// requests with simulated cache misses. The choice of K is the privacy/
+// utility dial:
+//  - Uniform  -> Uniform-Random-Cache      (Theorem VI.1: (k, 0, 2k/K))
+//  - Truncated geometric -> Exponential-Random-Cache
+//                                          (Theorem VI.3: (k, -k ln a, ...))
+//  - Degenerate (constant) -> the paper's non-private naive strawman.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace ndnp::core {
+
+/// Distribution over thresholds {0, 1, ..., domain_size()-1}.
+class KDistribution {
+ public:
+  virtual ~KDistribution() = default;
+
+  /// Draw a threshold.
+  [[nodiscard]] virtual std::int64_t sample(util::Rng& rng) const = 0;
+
+  /// Pr[K = k]; 0 outside the domain.
+  [[nodiscard]] virtual double pmf(std::int64_t k) const = 0;
+
+  /// Size of the support [0, K): the paper's parameter K.
+  [[nodiscard]] virtual std::int64_t domain_size() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::unique_ptr<KDistribution> clone() const = 0;
+
+  /// E[K] (by summation; domains are small).
+  [[nodiscard]] double mean() const;
+
+  /// Pr[K >= k].
+  [[nodiscard]] double tail(std::int64_t k) const;
+};
+
+/// Uniform over [0, K): Pr[K=r] = 1/K.
+class UniformK final : public KDistribution {
+ public:
+  explicit UniformK(std::int64_t domain);
+
+  [[nodiscard]] std::int64_t sample(util::Rng& rng) const override;
+  [[nodiscard]] double pmf(std::int64_t k) const override;
+  [[nodiscard]] std::int64_t domain_size() const override { return domain_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<KDistribution> clone() const override;
+
+ private:
+  std::int64_t domain_;
+};
+
+/// Truncated geometric over [0, K):
+///   Pr[K=r] = (1-a) a^r / (1 - a^K),  0 < a < 1.
+/// Exponentially favors small thresholds: fewer simulated misses on
+/// average, in exchange for epsilon = -k ln a > 0.
+class TruncatedGeometricK final : public KDistribution {
+ public:
+  TruncatedGeometricK(double alpha, std::int64_t domain);
+
+  [[nodiscard]] std::int64_t sample(util::Rng& rng) const override;
+  [[nodiscard]] double pmf(std::int64_t k) const override;
+  [[nodiscard]] std::int64_t domain_size() const override { return domain_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<KDistribution> clone() const override;
+
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+ private:
+  double alpha_;
+  std::int64_t domain_;
+};
+
+/// Constant threshold k0 — the paper's "non-private naive approach": a
+/// cache hit then reveals that at least k0 requests were seen, and an
+/// adversary who knows k0 can count exactly how many (see
+/// attack::NaiveCounterAttack).
+class DegenerateK final : public KDistribution {
+ public:
+  explicit DegenerateK(std::int64_t k0);
+
+  [[nodiscard]] std::int64_t sample(util::Rng& rng) const override;
+  [[nodiscard]] double pmf(std::int64_t k) const override;
+  [[nodiscard]] std::int64_t domain_size() const override { return k0_ + 1; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<KDistribution> clone() const override;
+
+ private:
+  std::int64_t k0_;
+};
+
+}  // namespace ndnp::core

@@ -1,0 +1,42 @@
+#include "core/policy.hpp"
+
+namespace ndnp::core {
+
+std::string_view to_string(LookupAction action) noexcept {
+  switch (action) {
+    case LookupAction::kExposeHit: return "ExposeHit";
+    case LookupAction::kDelayedHit: return "DelayedHit";
+    case LookupAction::kSimulatedMiss: return "SimulatedMiss";
+  }
+  return "?";
+}
+
+void init_privacy_marking(cache::Entry& entry, const ndn::Interest& cause) noexcept {
+  if (entry.data.producer_marked_private()) {
+    entry.meta.treated_private = true;
+    return;
+  }
+  if (cause.private_req) {
+    entry.meta.treated_private = true;
+  } else {
+    entry.meta.treated_private = false;
+    entry.meta.deprivatized = true;
+  }
+}
+
+bool resolve_effective_privacy(cache::Entry& entry, const ndn::Interest& interest) noexcept {
+  // Producer marking must always be honored by consumer-facing routers,
+  // even for interests without the privacy bit.
+  if (entry.data.producer_marked_private()) {
+    entry.meta.treated_private = true;
+    return true;
+  }
+  // Producer-unmarked content: the first non-private request is the
+  // trigger that fixes the entry as non-private while cached.
+  if (!interest.private_req) entry.meta.deprivatized = true;
+  const bool effective = interest.private_req && !entry.meta.deprivatized;
+  entry.meta.treated_private = effective;
+  return effective;
+}
+
+}  // namespace ndnp::core

@@ -1,0 +1,178 @@
+#include "core/theory.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ndnp::core {
+
+namespace {
+
+void require_c(std::int64_t c) {
+  if (c < 1) throw std::invalid_argument("theory: c must be >= 1");
+}
+
+void require_alpha(double alpha) {
+  if (!(alpha > 0.0) || !(alpha < 1.0))
+    throw std::invalid_argument("theory: alpha must be in (0,1)");
+}
+
+void require_domain(std::int64_t domain) {
+  if (domain <= 0) throw std::invalid_argument("theory: domain K must be positive");
+}
+
+[[nodiscard]] double powd(double base, std::int64_t e) {
+  return std::pow(base, static_cast<double>(e));
+}
+
+}  // namespace
+
+double expected_misses(std::int64_t c, const KDistribution& dist) {
+  require_c(c);
+  // E[min(c, K)] by direct summation.
+  double acc = 0.0;
+  for (std::int64_t k = 0; k < dist.domain_size(); ++k)
+    acc += static_cast<double>(std::min(c, k)) * dist.pmf(k);
+  return acc;
+}
+
+double utility(std::int64_t c, const KDistribution& dist) {
+  require_c(c);
+  return 1.0 - expected_misses(c, dist) / static_cast<double>(c);
+}
+
+double uniform_expected_misses(std::int64_t c, std::int64_t domain) {
+  require_c(c);
+  require_domain(domain);
+  const auto cd = static_cast<double>(c);
+  const auto kd = static_cast<double>(domain);
+  if (c < domain) return cd * (1.0 - (cd + 1.0) / (2.0 * kd));
+  return (kd - 1.0) / 2.0;  // exact E[U(0,K)]; the paper prints K/2
+}
+
+double uniform_utility(std::int64_t c, std::int64_t domain) {
+  return 1.0 - uniform_expected_misses(c, domain) / static_cast<double>(c);
+}
+
+PrivacyBudget uniform_privacy(std::int64_t k, std::int64_t domain) {
+  require_domain(domain);
+  if (k < 0) throw std::invalid_argument("uniform_privacy: k must be non-negative");
+  return {.epsilon = 0.0,
+          .delta = 2.0 * static_cast<double>(k) / static_cast<double>(domain)};
+}
+
+std::int64_t uniform_domain_for_delta(std::int64_t k, double delta) {
+  if (k <= 0) throw std::invalid_argument("uniform_domain_for_delta: k must be positive");
+  if (!(delta > 0.0)) throw std::invalid_argument("uniform_domain_for_delta: delta must be > 0");
+  return static_cast<std::int64_t>(
+      std::ceil(2.0 * static_cast<double>(k) / delta));
+}
+
+double expo_expected_misses(std::int64_t c, double alpha, std::int64_t domain) {
+  require_c(c);
+  require_alpha(alpha);
+  require_domain(domain);
+  // E[min(c,K)] with K truncated-geometric(alpha) on [0, domain):
+  //   [ (a - c a^c + (c-1) a^{c+1}) / (1-a) + c a^c - c a^K ] / (1 - a^K)
+  // valid for c <= K; for c > K, min(c,K) == min(K,K) so clamp.
+  const std::int64_t cc = std::min(c, domain);
+  const auto cd = static_cast<double>(cc);
+  const double a = alpha;
+  const double ac = powd(a, cc);
+  const double aK = powd(a, domain);
+  const double head = (a - cd * ac + (cd - 1.0) * ac * a) / (1.0 - a);
+  return (head + cd * ac - cd * aK) / (1.0 - aK);
+}
+
+double expo_utility(std::int64_t c, double alpha, std::int64_t domain) {
+  return 1.0 - expo_expected_misses(c, alpha, domain) / static_cast<double>(c);
+}
+
+PrivacyBudget expo_privacy(std::int64_t k, double alpha, std::int64_t domain) {
+  require_alpha(alpha);
+  require_domain(domain);
+  if (k < 0) throw std::invalid_argument("expo_privacy: k must be non-negative");
+  const double ak = powd(alpha, k);
+  const double aK = powd(alpha, domain);
+  const double aKk = powd(alpha, domain - k);
+  return {.epsilon = -static_cast<double>(k) * std::log(alpha),
+          .delta = (1.0 - ak + aKk - aK) / (1.0 - aK)};
+}
+
+double expo_alpha_for_epsilon(std::int64_t k, double epsilon) {
+  if (k <= 0) throw std::invalid_argument("expo_alpha_for_epsilon: k must be positive");
+  if (!(epsilon > 0.0))
+    throw std::invalid_argument("expo_alpha_for_epsilon: epsilon must be > 0");
+  return std::exp(-epsilon / static_cast<double>(k));
+}
+
+std::optional<std::int64_t> expo_domain_for_delta(std::int64_t k, double alpha, double delta) {
+  require_alpha(alpha);
+  if (k <= 0) throw std::invalid_argument("expo_domain_for_delta: k must be positive");
+  if (!(delta > 0.0) || !(delta < 1.0))
+    throw std::invalid_argument("expo_domain_for_delta: delta must be in (0,1)");
+  // delta(K) = (1-a^k)(1+a^{K-k}) / (1-a^K) is strictly decreasing in K
+  // with infimum 1 - a^k; the target is unattainable at or below the floor.
+  const double floor = 1.0 - powd(alpha, k);
+  if (delta <= floor) return std::nullopt;
+
+  const auto delta_of = [&](std::int64_t domain) {
+    return expo_privacy(k, alpha, domain).delta;
+  };
+  constexpr std::int64_t kMaxDomain = std::int64_t{1} << 48;
+  std::int64_t hi = k + 1;
+  while (delta_of(hi) > delta) {
+    if (hi >= kMaxDomain) return std::nullopt;  // floating-point corner: treat as unattainable
+    hi *= 2;
+  }
+  std::int64_t lo = k + 1;
+  while (lo < hi) {  // first K with delta(K) <= target (monotone decrease)
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (delta_of(mid) <= delta)
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  return lo;
+}
+
+double paper_uniform_expected_misses(std::int64_t c, std::int64_t domain) {
+  require_c(c);
+  require_domain(domain);
+  const auto cd = static_cast<double>(c);
+  const auto kd = static_cast<double>(domain);
+  if (c < domain) return cd * (1.0 - (cd + 1.0) / (2.0 * kd));
+  return kd / 2.0;
+}
+
+double paper_expo_expected_misses(std::int64_t c, double alpha, std::int64_t domain) {
+  require_c(c);
+  require_alpha(alpha);
+  require_domain(domain);
+  const double a = alpha;
+  const double aK = powd(a, domain);
+  if (c < domain) {
+    const auto cd = static_cast<double>(c);
+    const double ac = powd(a, c);
+    return (1.0 - ac - cd * aK) / (1.0 - aK) + a * (1.0 - ac) / ((1.0 - aK) * (1.0 - a));
+  }
+  const auto kd = static_cast<double>(domain);
+  return (1.0 - (kd + 1.0) * aK) / (1.0 - aK) + a / (1.0 - a);
+}
+
+std::optional<ExpoParams> solve_expo_params(std::int64_t k, double epsilon, double delta,
+                                            double delta_slack) {
+  if (delta_slack < 0.0)
+    throw std::invalid_argument("solve_expo_params: delta_slack must be >= 0");
+  const double alpha = expo_alpha_for_epsilon(k, epsilon);
+  const auto domain = expo_domain_for_delta(k, alpha, delta * (1.0 + delta_slack));
+  if (!domain) return std::nullopt;
+  return ExpoParams{.alpha = alpha, .domain = *domain};
+}
+
+double max_epsilon_for_delta(double delta) {
+  if (!(delta > 0.0) || !(delta < 1.0))
+    throw std::invalid_argument("max_epsilon_for_delta: delta must be in (0,1)");
+  return -std::log(1.0 - delta);
+}
+
+}  // namespace ndnp::core

@@ -1,0 +1,117 @@
+// Closed-form privacy and utility theory of Section VI.
+//
+// Conventions. Algorithm 1 answers the first k_C *post-insertion* requests
+// for a cached content with simulated misses. Throughout this module, `c`
+// counts requests arriving after the content entered the cache, so the
+// number of simulated misses among them is min(c, k_C) and
+//   E[M(c)] = E[min(c, K)],     u(c) = 1 - E[M(c)] / c.
+// This matches the first branch of the paper's Theorem VI.2 exactly.
+//
+// Paper inconsistency note: the paper's Equation (1) and the "otherwise"
+// branch of Theorem VI.4 follow a convention that also counts the initial
+// compulsory miss (E[min(c, K+1)] = E[M(c)] + Pr-weighted extra miss),
+// while Theorem VI.2's first branch does not, and its otherwise branch
+// (K/2) rounds the exact (K-1)/2. We implement one consistent convention
+// (post-insertion, exact) for all schemes — required for an apples-to-
+// apples Figure 4 — and additionally expose the verbatim paper formulas
+// for comparison; tests pin the discrepancy to at most one miss.
+//
+// Privacy guarantees (Theorems VI.1 and VI.3) are stated as (k, eps, delta)
+// triples: distinguishing "never requested" from "requested 1..k times"
+// is (eps, delta)-bounded.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/k_distribution.hpp"
+
+namespace ndnp::core {
+
+/// An (epsilon, delta) probabilistic-indistinguishability budget.
+struct PrivacyBudget {
+  double epsilon = 0.0;
+  double delta = 0.0;
+};
+
+// ---------------------------------------------------------------------------
+// Generic (any K distribution), exact by summation.
+
+/// E[M(c)] = E[min(c, K)]: expected simulated misses among c post-insertion
+/// requests. O(domain) time.
+[[nodiscard]] double expected_misses(std::int64_t c, const KDistribution& dist);
+
+/// u(c) = 1 - E[M(c)]/c (Definition VI.1). Requires c >= 1.
+[[nodiscard]] double utility(std::int64_t c, const KDistribution& dist);
+
+// ---------------------------------------------------------------------------
+// Uniform-Random-Cache (K = U(0,K)).
+
+/// Exact E[min(c, U(0,K))]: c(1 - (c+1)/(2K)) for c < K, else (K-1)/2.
+[[nodiscard]] double uniform_expected_misses(std::int64_t c, std::int64_t domain);
+[[nodiscard]] double uniform_utility(std::int64_t c, std::int64_t domain);
+
+/// Theorem VI.1: Uniform-Random-Cache is (k, 0, 2k/K)-private.
+[[nodiscard]] PrivacyBudget uniform_privacy(std::int64_t k, std::int64_t domain);
+
+/// Smallest domain K achieving delta for anonymity level k: ceil(2k/delta).
+[[nodiscard]] std::int64_t uniform_domain_for_delta(std::int64_t k, double delta);
+
+// ---------------------------------------------------------------------------
+// Exponential-Random-Cache (K = truncated geometric(alpha) on [0,K)).
+
+/// Exact E[min(c, G~(alpha,0,K-1))] in closed form.
+[[nodiscard]] double expo_expected_misses(std::int64_t c, double alpha, std::int64_t domain);
+[[nodiscard]] double expo_utility(std::int64_t c, double alpha, std::int64_t domain);
+
+/// Theorem VI.3: Exponential-Random-Cache is
+/// (k, -k ln(alpha), (1 - a^k + a^{K-k} - a^K) / (1 - a^K))-private.
+[[nodiscard]] PrivacyBudget expo_privacy(std::int64_t k, double alpha, std::int64_t domain);
+
+/// alpha achieving a target epsilon for anonymity level k: e^{-eps/k}.
+[[nodiscard]] double expo_alpha_for_epsilon(std::int64_t k, double epsilon);
+
+/// Smallest domain K (>= k+1) whose Theorem VI.3 delta is <= the target,
+/// or nullopt when unattainable (the K -> infinity limit of delta is
+/// 1 - alpha^k; any target below that cannot be met).
+[[nodiscard]] std::optional<std::int64_t> expo_domain_for_delta(std::int64_t k, double alpha,
+                                                                double delta);
+
+// ---------------------------------------------------------------------------
+// Verbatim paper formulas (for documentation/comparison; see header note).
+
+/// Theorem VI.2 as printed: c(1-(c+1)/(2K)) for 1<=c<K, K/2 otherwise.
+[[nodiscard]] double paper_uniform_expected_misses(std::int64_t c, std::int64_t domain);
+
+/// Theorem VI.4 as printed.
+[[nodiscard]] double paper_expo_expected_misses(std::int64_t c, double alpha, std::int64_t domain);
+
+// ---------------------------------------------------------------------------
+// Figure 4 helpers.
+
+/// Parameters for an Exponential-Random-Cache matching a (k, eps, delta)
+/// target: alpha = e^{-eps/k}, K = smallest domain meeting delta.
+struct ExpoParams {
+  double alpha = 0.0;
+  std::int64_t domain = 0;
+};
+
+/// Solve Exponential-Random-Cache parameters for a (k, eps, delta) target;
+/// nullopt when the delta target is below the 1 - alpha^k floor.
+///
+/// `delta_slack` is a relative tolerance on the delta target. It matters
+/// for Figure 4(b)'s parameterization eps = -ln(1 - delta): there
+/// alpha = (1-delta)^{1/k}, whose delta floor is 1 - alpha^k = delta
+/// *exactly* — the target is only attained in the K -> infinity limit, so
+/// a strict solver would always fail. The slack picks the smallest finite
+/// K with delta(K) <= delta * (1 + delta_slack), which is visually and
+/// numerically indistinguishable from the limit curve.
+[[nodiscard]] std::optional<ExpoParams> solve_expo_params(std::int64_t k, double epsilon,
+                                                          double delta,
+                                                          double delta_slack = 1e-6);
+
+/// Figure 4(b)'s epsilon choice: the largest epsilon compatible with a
+/// given delta floor, eps = -ln(1 - delta).
+[[nodiscard]] double max_epsilon_for_delta(double delta);
+
+}  // namespace ndnp::core

@@ -1,0 +1,85 @@
+#include "crypto/hmac.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace ndnp::crypto {
+
+namespace {
+
+[[nodiscard]] std::span<const std::uint8_t> as_bytes(std::string_view s) noexcept {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+}  // namespace
+
+Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
+                         std::span<const std::uint8_t> data) noexcept {
+  std::array<std::uint8_t, kSha256BlockSize> block_key{};
+  if (key.size() > kSha256BlockSize) {
+    const Sha256Digest hashed = Sha256::hash(key);
+    std::copy(hashed.begin(), hashed.end(), block_key.begin());
+  } else {
+    std::copy(key.begin(), key.end(), block_key.begin());
+  }
+
+  std::array<std::uint8_t, kSha256BlockSize> ipad{};
+  std::array<std::uint8_t, kSha256BlockSize> opad{};
+  for (std::size_t i = 0; i < kSha256BlockSize; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(data);
+  const Sha256Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+Sha256Digest hmac_sha256(std::string_view key, std::string_view data) noexcept {
+  return hmac_sha256(as_bytes(key), as_bytes(data));
+}
+
+Sha256Digest Prf::derive(std::string_view label, std::uint64_t counter) const noexcept {
+  std::vector<std::uint8_t> message;
+  message.reserve(label.size() + 1 + 8);
+  message.insert(message.end(), label.begin(), label.end());
+  message.push_back(0x00);  // domain separator: labels cannot collide with counters
+  for (int i = 7; i >= 0; --i)
+    message.push_back(static_cast<std::uint8_t>(counter >> (8 * i)));
+  return hmac_sha256(std::span<const std::uint8_t>(key_), std::span<const std::uint8_t>(message));
+}
+
+std::string Prf::derive_token(std::string_view label, std::uint64_t counter,
+                              std::size_t hex_chars) const {
+  return digest_prefix_hex(derive(label, counter), hex_chars);
+}
+
+Sha256Digest sign_content(std::string_view producer_key, std::string_view name,
+                          std::string_view payload) noexcept {
+  // name_len prefix gives an injective encoding of (name, payload).
+  std::string message;
+  message.reserve(name.size() + payload.size() + 16);
+  message += std::to_string(name.size());
+  message.push_back(':');
+  message += name;
+  message += payload;
+  return hmac_sha256(producer_key, message);
+}
+
+bool verify_content(std::string_view producer_key, std::string_view name, std::string_view payload,
+                    const Sha256Digest& sig) noexcept {
+  const Sha256Digest expected = sign_content(producer_key, name, payload);
+  // Constant-time comparison, as one would in production code.
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    diff = static_cast<std::uint8_t>(diff | (expected[i] ^ sig[i]));
+  return diff == 0;
+}
+
+}  // namespace ndnp::crypto

@@ -1,0 +1,59 @@
+// HMAC-SHA-256 (RFC 2104 / FIPS 198-1) and the keyed PRF built on it.
+//
+// The paper's interactive-traffic countermeasure (Section V-A) has producer
+// and consumer derive per-content unpredictable name components from a
+// shared secret using "a pseudo-random function (e.g., a keyed
+// cryptographic hash, such as HMAC)". `Prf` below is exactly that
+// construction; `NameRandomizer` (in core/) turns its output into name
+// components.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace ndnp::crypto {
+
+/// One-shot HMAC-SHA-256 over `data` with `key` (any key length; keys
+/// longer than the block size are hashed first, per the spec).
+[[nodiscard]] Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
+                                       std::span<const std::uint8_t> data) noexcept;
+
+[[nodiscard]] Sha256Digest hmac_sha256(std::string_view key, std::string_view data) noexcept;
+
+/// Deterministic keyed PRF: PRF_k(label, counter) = HMAC-SHA256(k,
+/// label || 0x00 || counter_be64). The label/counter domain separation lets
+/// one shared secret drive independent sequences (e.g. one per direction of
+/// a VoIP session).
+class Prf {
+ public:
+  explicit Prf(std::string_view key) : key_(key.begin(), key.end()) {}
+  explicit Prf(std::span<const std::uint8_t> key) : key_(key.begin(), key.end()) {}
+
+  [[nodiscard]] Sha256Digest derive(std::string_view label, std::uint64_t counter) const noexcept;
+
+  /// Convenience: first `hex_chars` hex characters of derive() — the
+  /// "rand" name component format used throughout the examples/tests.
+  [[nodiscard]] std::string derive_token(std::string_view label, std::uint64_t counter,
+                                         std::size_t hex_chars = 32) const;
+
+ private:
+  std::vector<std::uint8_t> key_;
+};
+
+/// Simulated producer signature: HMAC tag binding producer identity, name
+/// and payload. Stands in for the per-packet public-key signatures that
+/// real NDN uses (scheme identity is irrelevant to cache privacy; what
+/// matters is that content carries a producer-identifying tag).
+[[nodiscard]] Sha256Digest sign_content(std::string_view producer_key, std::string_view name,
+                                        std::string_view payload) noexcept;
+
+/// Verify a simulated signature.
+[[nodiscard]] bool verify_content(std::string_view producer_key, std::string_view name,
+                                  std::string_view payload, const Sha256Digest& sig) noexcept;
+
+}  // namespace ndnp::crypto

@@ -1,0 +1,118 @@
+// NDN packet types: Interest and Data.
+//
+// These mirror the two packet types of the NDN architecture (Section II)
+// plus the privacy-relevant fields this paper introduces or exploits:
+//  - Interest.scope        — hop limit the timing attacker abuses (scope=2
+//                            confines the interest to the first-hop router);
+//  - Interest.private_req  — the consumer-driven privacy bit (Section V);
+//  - Data.producer_private — the producer-driven privacy marking;
+//  - Data.exact_match_only — set for content whose name ends in an
+//                            unpredictable `rand` component: such content
+//                            must never satisfy a shorter-prefix interest
+//                            (footnote 5 of the paper);
+//  - Data.group_id         — producer-assigned correlation-group id used by
+//                            the grouped Random-Cache variant (Section VI,
+//                            "Addressing Content Correlation").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "crypto/sha256.hpp"
+#include "ndn/name.hpp"
+
+namespace ndnp::ndn {
+
+/// Marker component for producer-driven privacy marking by name
+/// ("/private" as the last component, Section V).
+inline constexpr std::string_view kPrivateNameComponent = "private";
+
+/// True if the name carries the reserved producer privacy marker as its
+/// last component.
+[[nodiscard]] bool name_marked_private(const Name& name) noexcept;
+
+struct Interest {
+  Name name;
+  /// Random per-interest value; routers use it to suppress forwarding
+  /// loops (a PIT entry remembers seen nonces).
+  std::uint64_t nonce = 0;
+  /// NDN scope: maximum number of NDN entities the interest may traverse,
+  /// *source included*. nullopt = unlimited. scope=2 means "first-hop
+  /// router only" — the cache-probing primitive of Section III.
+  std::optional<int> scope;
+  /// Consumer-driven privacy bit (Section V): request this content as
+  /// private regardless of producer marking.
+  bool private_req = false;
+  /// Only fresh content may satisfy this interest (stale cached entries
+  /// are skipped as if absent).
+  bool must_be_fresh = false;
+  /// Requested PIT lifetime in nanoseconds; nullopt = router default.
+  std::optional<std::int64_t> lifetime;
+
+  /// Approximate wire size in bytes (type/length framing + name + fields);
+  /// used by links that model transmission delay.
+  [[nodiscard]] std::size_t wire_size() const noexcept;
+};
+
+struct Data {
+  Name name;
+  /// Payload is carried verbatim; experiments that only need sizes use a
+  /// string of that length.
+  std::string payload;
+  /// Producer identity — NDN content is signed, which is precisely why the
+  /// paper notes producers are identifiable from cached content.
+  std::string producer;
+  /// Simulated signature over (producer, name, payload).
+  crypto::Sha256Digest signature{};
+
+  /// Producer-driven privacy bit in the content header (Section V).
+  bool producer_private = false;
+  /// Content must only match interests for its exact full name (set for
+  /// unpredictable-name content; footnote 5).
+  bool exact_match_only = false;
+  /// Correlation group for the grouped Random-Cache variant; empty = none.
+  std::string group_id;
+  /// Freshness period in nanoseconds: how long after arrival a cached copy
+  /// may satisfy MustBeFresh interests. nullopt = always fresh. The paper
+  /// notes interactive content goes stale immediately — producers of such
+  /// traffic set this to 0.
+  std::optional<std::int64_t> freshness_period;
+
+  /// True if this content is private by *producer* decision: header bit or
+  /// reserved name component.
+  [[nodiscard]] bool producer_marked_private() const noexcept {
+    return producer_private || name_marked_private(name);
+  }
+
+  /// True if `interest` may be answered by this Data: prefix match, except
+  /// exact-match-only content requires full-name equality.
+  [[nodiscard]] bool satisfies(const Interest& interest) const noexcept;
+
+  [[nodiscard]] std::size_t wire_size() const noexcept;
+};
+
+/// Build a signed Data packet (signature computed over producer/name/
+/// payload with the producer's key).
+[[nodiscard]] Data make_data(Name name, std::string payload, std::string producer,
+                             std::string_view producer_key, bool producer_private = false);
+
+/// Why a network element refused to satisfy an interest.
+enum class NackReason {
+  kNoRoute,      // no FIB entry toward the content
+  kPitOverflow,  // router out of PIT capacity
+  kDuplicate,    // looping interest (nonce already seen)
+};
+
+[[nodiscard]] std::string_view to_string(NackReason reason) noexcept;
+
+/// Negative acknowledgment: returned downstream instead of Data so
+/// consumers can fail fast instead of waiting out their interest lifetime.
+struct Nack {
+  Interest interest;
+  NackReason reason = NackReason::kNoRoute;
+
+  [[nodiscard]] std::size_t wire_size() const noexcept { return interest.wire_size() + 4; }
+};
+
+}  // namespace ndnp::ndn

@@ -1,0 +1,80 @@
+// TLV wire encoding for NDN packets.
+//
+// NDN frames everything as Type-Length-Value blocks with variable-size
+// type/length numbers (1 byte below 253; 253/254/255 escape to 2/4/8-byte
+// big-endian). This codec round-trips the Interest/Data structures of this
+// library, including the privacy-relevant extension fields, so traces of
+// packets can be stored/replayed and wire sizes are grounded in a real
+// encoding. Unknown non-critical TLVs are skipped on decode (forward
+// compatibility); truncated or malformed input throws TlvError.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "ndn/packet.hpp"
+
+namespace ndnp::ndn {
+
+class TlvError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// TLV type numbers. Name/component/packet types follow the NDN packet
+/// spec; the 128+ range holds this library's extension fields (the
+/// privacy bit, correlation group, ...), which the spec reserves for
+/// application use.
+enum class TlvType : std::uint64_t {
+  kInterest = 5,
+  kData = 6,
+  kName = 7,
+  kNameComponent = 8,
+  kNonce = 10,
+  kInterestLifetime = 12,
+  kMustBeFresh = 18,
+  kScope = 19,  // historic NDN 0.1 scope field, as exploited by the paper
+  kContent = 21,
+  kFreshnessPeriod = 25,
+  kSignatureValue = 23,
+  kProducer = 129,
+  kPrivateRequest = 130,
+  kProducerPrivate = 131,
+  kExactMatchOnly = 132,
+  kGroupId = 133,
+};
+
+using Buffer = std::vector<std::uint8_t>;
+
+// --- low-level primitives (exposed for tests and tooling) -----------------
+
+/// Append a variable-size TLV number (type or length).
+void append_varnum(Buffer& out, std::uint64_t value);
+
+/// Read a variable-size TLV number, advancing `offset`. Throws TlvError on
+/// truncation.
+[[nodiscard]] std::uint64_t read_varnum(std::span<const std::uint8_t> in, std::size_t& offset);
+
+/// Append a full TLV block.
+void append_tlv(Buffer& out, TlvType type, std::span<const std::uint8_t> value);
+
+/// Append a TLV block holding a big-endian non-negative integer (minimal
+/// 1/2/4/8-byte encoding, per the NDN convention).
+void append_tlv_number(Buffer& out, TlvType type, std::uint64_t value);
+
+/// Decode a big-endian non-negative integer payload.
+[[nodiscard]] std::uint64_t decode_number(std::span<const std::uint8_t> value);
+
+// --- packet codecs ---------------------------------------------------------
+
+[[nodiscard]] Buffer encode(const Name& name);
+[[nodiscard]] Buffer encode(const Interest& interest);
+[[nodiscard]] Buffer encode(const Data& data);
+
+[[nodiscard]] Name decode_name(std::span<const std::uint8_t> wire);
+[[nodiscard]] Interest decode_interest(std::span<const std::uint8_t> wire);
+[[nodiscard]] Data decode_data(std::span<const std::uint8_t> wire);
+
+}  // namespace ndnp::ndn

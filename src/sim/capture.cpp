@@ -1,0 +1,31 @@
+#include "sim/capture.hpp"
+
+#include <ostream>
+
+namespace ndnp::sim {
+
+std::string_view to_string(PacketKind kind) noexcept {
+  switch (kind) {
+    case PacketKind::kInterest: return "INTEREST";
+    case PacketKind::kData: return "DATA";
+    case PacketKind::kNack: return "NACK";
+  }
+  return "?";
+}
+
+std::size_t PacketTap::count(PacketKind kind) const noexcept {
+  std::size_t n = 0;
+  for (const CapturedPacket& packet : packets_)
+    if (packet.kind == kind) ++n;
+  return n;
+}
+
+void PacketTap::dump(std::ostream& out) const {
+  for (const CapturedPacket& packet : packets_) {
+    out << util::to_millis(packet.sent_at) << "ms " << packet.sender << " > "
+        << packet.receiver << ' ' << to_string(packet.kind) << ' ' << packet.name.to_uri()
+        << " (" << packet.wire_bytes << "B)\n";
+  }
+}
+
+}  // namespace ndnp::sim

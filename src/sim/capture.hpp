@@ -1,0 +1,57 @@
+// Packet capture for simulated links.
+//
+// Attach a PacketTap to any LinkConfig before connect() and every packet
+// transmitted over that link is recorded — kind, direction, wire bytes
+// (real TLV encoding), timestamps. Captures can be dumped in a tcpdump-
+// style text form for debugging, and they power tests that assert on
+// exact wire traffic. The adversary of the paper does NOT get taps; this
+// is a developer observability tool (the whole point of the paper is what
+// can be learned *without* one).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ndn/tlv.hpp"
+#include "util/sim_time.hpp"
+
+namespace ndnp::sim {
+
+enum class PacketKind { kInterest, kData, kNack };
+
+[[nodiscard]] std::string_view to_string(PacketKind kind) noexcept;
+
+struct CapturedPacket {
+  util::SimTime sent_at = 0;
+  PacketKind kind = PacketKind::kInterest;
+  std::string sender;    // node name
+  std::string receiver;  // node name
+  ndn::Name name;        // packet name (Interest/Data name; Nack's interest name)
+  std::size_t wire_bytes = 0;
+  /// Full TLV encoding of the packet (Nack encodes its inner Interest).
+  ndn::Buffer wire;
+};
+
+class PacketTap {
+ public:
+  void record(CapturedPacket packet) { packets_.push_back(std::move(packet)); }
+
+  [[nodiscard]] const std::vector<CapturedPacket>& packets() const noexcept {
+    return packets_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return packets_.size(); }
+  void clear() noexcept { packets_.clear(); }
+
+  /// Count packets of one kind.
+  [[nodiscard]] std::size_t count(PacketKind kind) const noexcept;
+
+  /// tcpdump-style text dump: "<time ms> <sender> > <receiver> <kind> <name> (<bytes>B)".
+  void dump(std::ostream& out) const;
+
+ private:
+  std::vector<CapturedPacket> packets_;
+};
+
+}  // namespace ndnp::sim

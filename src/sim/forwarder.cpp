@@ -1,0 +1,293 @@
+#include "sim/forwarder.hpp"
+
+#include <algorithm>
+
+#include "core/policies.hpp"
+#include "util/logging.hpp"
+
+namespace ndnp::sim {
+
+Forwarder::Forwarder(Scheduler& scheduler, std::string name, ForwarderConfig config,
+                     std::unique_ptr<core::CachePrivacyPolicy> policy)
+    : Node(scheduler, std::move(name), config.seed),
+      config_(config),
+      cs_(config.cs_capacity, config.eviction, config.seed ^ 0x9e3779b97f4a7c15ULL),
+      policy_(policy ? std::move(policy) : std::make_unique<core::NoPrivacyPolicy>()) {}
+
+std::string_view to_string(ForwardingStrategy strategy) noexcept {
+  switch (strategy) {
+    case ForwardingStrategy::kBestRoute: return "best-route";
+    case ForwardingStrategy::kRoundRobin: return "round-robin";
+    case ForwardingStrategy::kMulticast: return "multicast";
+  }
+  return "?";
+}
+
+void Forwarder::add_route(const ndn::Name& prefix, FaceId next_hop) {
+  auto& next_hops = fib_[prefix].next_hops;
+  if (std::find(next_hops.begin(), next_hops.end(), next_hop) == next_hops.end())
+    next_hops.push_back(next_hop);
+}
+
+void Forwarder::receive_interest(const ndn::Interest& interest, FaceId in_face) {
+  ++stats_.interests_received;
+  scheduler().schedule_in(config_.processing_delay,
+                          [this, interest, in_face] { handle_interest(interest, in_face); });
+}
+
+void Forwarder::receive_data(const ndn::Data& data, FaceId in_face) {
+  ++stats_.data_received;
+  scheduler().schedule_in(config_.processing_delay,
+                          [this, data, in_face] { handle_data(data, in_face); });
+}
+
+void Forwarder::receive_nack(const ndn::Nack& nack, FaceId in_face) {
+  ++stats_.nacks_received;
+  scheduler().schedule_in(config_.processing_delay,
+                          [this, nack, in_face] { handle_nack(nack, in_face); });
+}
+
+void Forwarder::handle_interest(const ndn::Interest& interest, FaceId in_face) {
+  // Loop suppression: a nonce already recorded for this name means the
+  // interest circled back.
+  if (auto pit_it = pit_.find(interest.name); pit_it != pit_.end()) {
+    if (pit_it->second.nonces.contains(interest.nonce)) {
+      ++stats_.nonce_drops;
+      return;
+    }
+  }
+
+  // 1. Content Store, filtered through the privacy policy (stale entries
+  // are invisible to MustBeFresh interests).
+  if (cache::Entry* entry = cs_.find(interest, now())) {
+    const bool effective_private = core::resolve_effective_privacy(*entry, interest);
+    const core::LookupDecision decision =
+        policy_->on_cached_lookup(*entry, interest, effective_private, now());
+    // All accesses refresh recency, even hidden ones (Section VII).
+    cs_.touch(*entry, now());
+    switch (decision.action) {
+      case core::LookupAction::kExposeHit:
+        ++stats_.exposed_hits;
+        send_data(in_face, entry->data);
+        return;
+      case core::LookupAction::kDelayedHit: {
+        ++stats_.delayed_hits;
+        const ndn::Data data = entry->data;  // copy: entry may be evicted meanwhile
+        scheduler().schedule_in(decision.artificial_delay,
+                                [this, in_face, data] { send_data(in_face, data); });
+        return;
+      }
+      case core::LookupAction::kSimulatedMiss:
+        ++stats_.simulated_misses;
+        break;  // fall through to the miss path below
+    }
+  } else {
+    ++stats_.true_misses;
+  }
+
+  // 2. PIT: collapse onto an existing pending interest for the same name.
+  if (auto pit_it = pit_.find(interest.name); pit_it != pit_.end()) {
+    PitEntry& entry = pit_it->second;
+    entry.nonces.insert(interest.nonce);
+    const bool known_face =
+        std::any_of(entry.downstreams.begin(), entry.downstreams.end(),
+                    [in_face](const Downstream& d) { return d.face == in_face; });
+    if (!known_face) entry.downstreams.push_back({.face = in_face, .arrived_at = now()});
+    ++stats_.collapsed_interests;
+    return;
+  }
+
+  // 3. Forward upstream per FIB, creating a PIT entry.
+  forward_interest(interest, in_face);
+}
+
+void Forwarder::forward_interest(const ndn::Interest& interest, FaceId in_face) {
+  // Scope: the field counts NDN entities the interest may traverse, source
+  // included. An honoring router that received the interest with scope <= 2
+  // is the last allowed entity and must not forward.
+  ndn::Interest upstream = interest;
+  if (config_.honor_scope && interest.scope) {
+    if (*interest.scope <= 2) {
+      ++stats_.scope_drops;
+      return;
+    }
+    upstream.scope = *interest.scope - 1;
+  }
+
+  FibEntry* fib_entry = fib_lookup(interest.name);
+  const std::vector<FaceId> next_hops =
+      fib_entry ? select_next_hops(*fib_entry, in_face) : std::vector<FaceId>{};
+  if (next_hops.empty()) {
+    ++stats_.no_route_drops;
+    util::log(util::LogLevel::kDebug, "%s: no route for %s", name().c_str(),
+              interest.name.to_uri().c_str());
+    if (config_.send_nacks) {
+      ++stats_.nacks_sent;
+      send_nack(in_face, {.interest = interest, .reason = ndn::NackReason::kNoRoute});
+    }
+    return;
+  }
+
+  if (config_.pit_capacity != 0 && pit_.size() >= config_.pit_capacity) {
+    ++stats_.pit_overflows;
+    if (config_.send_nacks) {
+      ++stats_.nacks_sent;
+      send_nack(in_face, {.interest = interest, .reason = ndn::NackReason::kPitOverflow});
+    }
+    return;
+  }
+
+  PitEntry entry;
+  entry.first_interest = interest;
+  entry.downstreams.push_back({.face = in_face, .arrived_at = now()});
+  entry.nonces.insert(interest.nonce);
+  entry.created_at = now();
+  entry.version = next_pit_version_++;
+  const std::uint64_t version = entry.version;
+  pit_.emplace(interest.name, std::move(entry));
+  schedule_pit_timeout(interest.name, version,
+                       interest.lifetime.value_or(config_.pit_timeout));
+
+  for (const FaceId next_hop : next_hops) {
+    ++stats_.forwarded_interests;
+    send_interest(next_hop, upstream);
+  }
+}
+
+void Forwarder::handle_data(const ndn::Data& data, FaceId) {
+  // Gather every PIT entry this Data satisfies: PIT keys are interest
+  // names, which must be prefixes of the data name, so only the
+  // size()+1 prefixes of data.name are candidates.
+  std::vector<std::map<ndn::Name, PitEntry>::iterator> matches;
+  for (std::size_t len = 0; len <= data.name.size(); ++len) {
+    const auto it = pit_.find(data.name.prefix(len));
+    if (it != pit_.end() && data.satisfies(it->second.first_interest))
+      matches.push_back(it);
+  }
+  if (matches.empty()) {
+    // NDN rule: content is never forwarded (nor cached) without a
+    // preceding interest.
+    ++stats_.unsolicited_data;
+    return;
+  }
+
+  // Cache. If the exact name is already cached (e.g. the Data answers a
+  // simulated miss we forwarded), refresh the payload but keep the policy
+  // state — re-initializing would resample Random-Cache thresholds and
+  // leak.
+  if (cache::Entry* existing = cs_.find_exact(data.name)) {
+    existing->data = data;
+    cs_.touch(*existing, now());
+  } else if (config_.cache_admission_probability < 1.0 &&
+             !rng().bernoulli(config_.cache_admission_probability)) {
+    ++stats_.admission_skips;
+  } else {
+    // The earliest-created matching PIT entry defines the fetch delay
+    // (interest-in -> content-out) and the marking cause.
+    const auto earliest = *std::min_element(
+        matches.begin(), matches.end(), [](const auto& a, const auto& b) {
+          return a->second.created_at < b->second.created_at;
+        });
+    cache::EntryMeta meta;
+    meta.inserted_at = now();
+    meta.last_access = now();
+    meta.fetch_delay = now() - earliest->second.created_at;
+    cache::Entry& entry = cs_.insert(data, meta);
+    core::init_privacy_marking(entry, earliest->second.first_interest);
+    policy_->on_insert(entry, earliest->second.first_interest, now());
+  }
+
+  // Forward downstream and flush the satisfied PIT entries. The policy may
+  // pad the miss response (constant-gamma Always-Delay equalizes fast
+  // misses with delayed hits); padding is per PIT entry since each has its
+  // own interest-in time.
+  for (const auto& it : matches) {
+    const bool treated_private =
+        data.producer_marked_private() || it->second.first_interest.private_req;
+    const util::SimDuration fetch_delay = now() - it->second.created_at;
+    const util::SimDuration miss_pad =
+        policy_->miss_response_delay(fetch_delay, treated_private) - fetch_delay;
+    for (const Downstream& downstream : it->second.downstreams) {
+      util::SimDuration pad = miss_pad;
+      if (config_.pad_collapsed_private && treated_private &&
+          downstream.arrived_at > it->second.created_at) {
+        // Make the collapsed requester wait as long as a fresh fetch
+        // started at its own arrival would have taken.
+        pad = std::max(pad, downstream.arrived_at - it->second.created_at);
+      }
+      if (pad > 0) {
+        const ndn::Data copy = data;
+        const FaceId face = downstream.face;
+        scheduler().schedule_in(pad, [this, face, copy] { send_data(face, copy); });
+      } else {
+        send_data(downstream.face, data);
+      }
+      ++stats_.data_forwarded;
+    }
+    pit_.erase(it);
+  }
+}
+
+void Forwarder::handle_nack(const ndn::Nack& nack, FaceId) {
+  // A NACK from upstream kills the pending interest: propagate it to every
+  // downstream face and flush the PIT entry. (With multicast strategies a
+  // sibling next hop may still answer; we keep the simple semantics of
+  // first-signal-wins, which matches best-route.)
+  const auto it = pit_.find(nack.interest.name);
+  if (it == pit_.end()) return;
+  for (const Downstream& downstream : it->second.downstreams) {
+    ++stats_.nacks_sent;
+    send_nack(downstream.face, nack);
+  }
+  pit_.erase(it);
+}
+
+Forwarder::FibEntry* Forwarder::fib_lookup(const ndn::Name& name) {
+  for (std::size_t len = name.size() + 1; len-- > 0;) {
+    const auto it = fib_.find(name.prefix(len));
+    if (it != fib_.end()) return &it->second;
+  }
+  return nullptr;
+}
+
+std::vector<FaceId> Forwarder::select_next_hops(FibEntry& entry, FaceId in_face) {
+  std::vector<FaceId> out;
+  switch (config_.strategy) {
+    case ForwardingStrategy::kBestRoute:
+      for (const FaceId face : entry.next_hops) {
+        if (face == in_face) continue;
+        out.push_back(face);
+        break;
+      }
+      break;
+    case ForwardingStrategy::kRoundRobin:
+      for (std::size_t i = 0; i < entry.next_hops.size(); ++i) {
+        const FaceId face =
+            entry.next_hops[(entry.round_robin_cursor + i) % entry.next_hops.size()];
+        if (face == in_face) continue;
+        out.push_back(face);
+        entry.round_robin_cursor =
+            (entry.round_robin_cursor + i + 1) % entry.next_hops.size();
+        break;
+      }
+      break;
+    case ForwardingStrategy::kMulticast:
+      for (const FaceId face : entry.next_hops)
+        if (face != in_face) out.push_back(face);
+      break;
+  }
+  return out;
+}
+
+void Forwarder::schedule_pit_timeout(const ndn::Name& name, std::uint64_t version,
+                                     util::SimDuration lifetime) {
+  scheduler().schedule_in(lifetime, [this, name, version] {
+    const auto it = pit_.find(name);
+    if (it != pit_.end() && it->second.version == version) {
+      pit_.erase(it);
+      ++stats_.pit_expirations;
+    }
+  });
+}
+
+}  // namespace ndnp::sim

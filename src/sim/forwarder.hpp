@@ -1,0 +1,153 @@
+// NDN forwarder (router).
+//
+// Implements the three-table NDN node model of Section II:
+//  - CS  (ContentStore): content cache, consulted first; what the privacy
+//         policy guards;
+//  - PIT (Pending Interest Table): collapses duplicate interests and
+//         remembers downstream faces for returning Data;
+//  - FIB (Forwarding Information Base): longest-prefix-match routing of
+//         interests toward producers.
+//
+// The attached core::CachePrivacyPolicy decides how cache hits are exposed
+// (expose / delay / simulate-miss); a simulated miss makes the forwarder
+// behave exactly as if the lookup had failed, including forwarding the
+// interest upstream. Scope handling is configurable because NDN routers
+// "are allowed to disregard this field" — the scope-probe attack only works
+// against honoring routers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "cache/content_store.hpp"
+#include "core/policy.hpp"
+#include "sim/node.hpp"
+
+namespace ndnp::sim {
+
+/// How interests are spread over multiple FIB next hops.
+enum class ForwardingStrategy {
+  kBestRoute,   // always the first registered next hop
+  kRoundRobin,  // rotate per prefix
+  kMulticast,   // all next hops at once (PIT dedups the replies)
+};
+
+[[nodiscard]] std::string_view to_string(ForwardingStrategy strategy) noexcept;
+
+struct ForwarderConfig {
+  std::size_t cs_capacity = 10'000;  // 0 = unlimited
+  cache::EvictionPolicy eviction = cache::EvictionPolicy::kLru;
+  /// Whether to honor Interest.scope (decrement-and-drop); off by default,
+  /// as permitted by the NDN spec.
+  bool honor_scope = false;
+  /// Default PIT entry lifetime; Interest.lifetime overrides per interest.
+  util::SimDuration pit_timeout = util::seconds(4);
+  /// Maximum concurrent PIT entries; 0 = unlimited. Overflowing interests
+  /// are dropped.
+  std::size_t pit_capacity = 0;
+  /// Per-packet processing latency (lookup + forwarding decision).
+  util::SimDuration processing_delay = util::micros(20);
+  ForwardingStrategy strategy = ForwardingStrategy::kBestRoute;
+  /// Probability of admitting arriving Data into the CS (1 = cache all,
+  /// the paper's setting; lower values are the classic cache-pollution
+  /// mitigation the admission ablation explores).
+  double cache_admission_probability = 1.0;
+  /// Send NACKs downstream on no-route / PIT-overflow (scope drops stay
+  /// silent: an honoring router reveals nothing extra to scope probes).
+  bool send_nacks = true;
+  /// Countermeasure to the PIT-collapse side channel (see
+  /// attack/pit_probe.hpp): when an interest for *private* content
+  /// collapses onto a pending entry, delay its Data copy so the collapsed
+  /// requester observes the same latency as a full fetch started at its
+  /// own arrival time — the collapse shortcut (and thus the in-flight
+  /// oracle) disappears, at zero bandwidth cost.
+  bool pad_collapsed_private = false;
+  std::uint64_t seed = 1;
+};
+
+struct ForwarderStats {
+  std::uint64_t interests_received = 0;
+  std::uint64_t data_received = 0;
+  std::uint64_t exposed_hits = 0;
+  std::uint64_t delayed_hits = 0;
+  std::uint64_t simulated_misses = 0;
+  std::uint64_t true_misses = 0;
+  std::uint64_t forwarded_interests = 0;
+  std::uint64_t collapsed_interests = 0;
+  std::uint64_t nonce_drops = 0;
+  std::uint64_t scope_drops = 0;
+  std::uint64_t no_route_drops = 0;
+  std::uint64_t pit_overflows = 0;
+  std::uint64_t admission_skips = 0;
+  std::uint64_t nacks_sent = 0;
+  std::uint64_t nacks_received = 0;
+  std::uint64_t unsolicited_data = 0;
+  std::uint64_t pit_expirations = 0;
+  std::uint64_t data_forwarded = 0;
+};
+
+class Forwarder final : public Node {
+ public:
+  /// `policy` defaults to NoPrivacy when null.
+  Forwarder(Scheduler& scheduler, std::string name, ForwarderConfig config,
+            std::unique_ptr<core::CachePrivacyPolicy> policy = nullptr);
+
+  /// Route interests under `prefix` out of `next_hop`. An empty prefix is
+  /// the default route. Longest prefix wins. Registering several next hops
+  /// for one prefix enables the configured multipath strategy; duplicate
+  /// registrations are ignored.
+  void add_route(const ndn::Name& prefix, FaceId next_hop);
+
+  void receive_interest(const ndn::Interest& interest, FaceId in_face) override;
+  void receive_data(const ndn::Data& data, FaceId in_face) override;
+  void receive_nack(const ndn::Nack& nack, FaceId in_face) override;
+
+  [[nodiscard]] const cache::ContentStore& cs() const noexcept { return cs_; }
+  [[nodiscard]] cache::ContentStore& cs() noexcept { return cs_; }
+  [[nodiscard]] const ForwarderStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const ForwarderConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const core::CachePrivacyPolicy& policy() const noexcept { return *policy_; }
+  [[nodiscard]] std::size_t pit_size() const noexcept { return pit_.size(); }
+
+ private:
+  struct Downstream {
+    FaceId face = 0;
+    util::SimTime arrived_at = util::kTimeUnset;
+  };
+
+  struct PitEntry {
+    ndn::Interest first_interest;
+    std::vector<Downstream> downstreams;
+    std::set<std::uint64_t> nonces;
+    util::SimTime created_at = util::kTimeUnset;
+    std::uint64_t version = 0;  // guards the timeout event against reuse
+  };
+
+  struct FibEntry {
+    std::vector<FaceId> next_hops;
+    std::size_t round_robin_cursor = 0;
+  };
+
+  void handle_interest(const ndn::Interest& interest, FaceId in_face);
+  void handle_data(const ndn::Data& data, FaceId in_face);
+  void handle_nack(const ndn::Nack& nack, FaceId in_face);
+  void forward_interest(const ndn::Interest& interest, FaceId in_face);
+  [[nodiscard]] FibEntry* fib_lookup(const ndn::Name& name);
+  /// Pick outgoing faces per the strategy, excluding the arrival face.
+  [[nodiscard]] std::vector<FaceId> select_next_hops(FibEntry& entry, FaceId in_face);
+  void schedule_pit_timeout(const ndn::Name& name, std::uint64_t version,
+                            util::SimDuration lifetime);
+
+  ForwarderConfig config_;
+  cache::ContentStore cs_;
+  std::unique_ptr<core::CachePrivacyPolicy> policy_;
+  std::map<ndn::Name, PitEntry> pit_;
+  std::map<ndn::Name, FibEntry> fib_;
+  std::uint64_t next_pit_version_ = 0;
+  ForwarderStats stats_;
+};
+
+}  // namespace ndnp::sim

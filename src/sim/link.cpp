@@ -1,0 +1,60 @@
+#include "sim/link.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ndnp::sim {
+
+util::SimDuration LinkConfig::sample_delay(util::Rng& rng, std::size_t wire_bytes) const {
+  double total = static_cast<double>(latency);
+  if (bandwidth_bps > 0.0)
+    total += static_cast<double>(wire_bytes) * 8.0 / bandwidth_bps * 1e9;
+  switch (jitter) {
+    case JitterKind::kNone:
+      break;
+    case JitterKind::kUniform:
+      total += rng.uniform(jitter_a, jitter_b);
+      break;
+    case JitterKind::kTruncNormal:
+      total += std::max(0.0, rng.normal(jitter_a, jitter_b));
+      break;
+    case JitterKind::kLognormal:
+      // exp(N(ln a, b)) has median a; sigma = b controls the tail.
+      if (jitter_a > 0.0) total += rng.lognormal(std::log(jitter_a), jitter_b);
+      break;
+  }
+  return std::max<util::SimDuration>(0, static_cast<util::SimDuration>(total));
+}
+
+bool LinkConfig::sample_loss(util::Rng& rng) const {
+  return loss_probability > 0.0 && rng.bernoulli(loss_probability);
+}
+
+LinkConfig lan_link(double latency_ms, double jitter_ms) {
+  LinkConfig cfg;
+  cfg.latency = util::millis_f(latency_ms);
+  cfg.jitter = JitterKind::kUniform;
+  cfg.jitter_a = 0.0;
+  cfg.jitter_b = static_cast<double>(util::millis_f(jitter_ms));
+  return cfg;
+}
+
+LinkConfig wan_link(double latency_ms, double jitter_median_ms, double jitter_sigma) {
+  LinkConfig cfg;
+  cfg.latency = util::millis_f(latency_ms);
+  cfg.jitter = JitterKind::kLognormal;
+  cfg.jitter_a = static_cast<double>(util::millis_f(jitter_median_ms));
+  cfg.jitter_b = jitter_sigma;
+  return cfg;
+}
+
+LinkConfig local_ipc_link(double latency_ms, double jitter_ms) {
+  LinkConfig cfg;
+  cfg.latency = util::millis_f(latency_ms);
+  cfg.jitter = JitterKind::kUniform;
+  cfg.jitter_a = 0.0;
+  cfg.jitter_b = static_cast<double>(util::millis_f(jitter_ms));
+  return cfg;
+}
+
+}  // namespace ndnp::sim

@@ -1,0 +1,115 @@
+#include "sim/node.hpp"
+
+#include "sim/capture.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace ndnp::sim {
+
+Node::Node(Scheduler& scheduler, std::string name, std::uint64_t seed)
+    : scheduler_(scheduler), name_(std::move(name)), rng_(seed) {}
+
+std::pair<FaceId, FaceId> connect(Node& a, Node& b, const LinkConfig& config) {
+  if (&a == &b) throw std::invalid_argument("connect: cannot link a node to itself");
+  const FaceId fa = a.faces_.size();
+  const FaceId fb = b.faces_.size();
+  a.faces_.push_back({.peer = &b, .peer_face = fb, .config = config});
+  b.faces_.push_back({.peer = &a, .peer_face = fa, .config = config});
+  return {fa, fb};
+}
+
+void Node::receive_nack(const ndn::Nack& nack, FaceId) {
+  util::log(util::LogLevel::kDebug, "%s: dropping nack for %s", name_.c_str(),
+            nack.interest.name.to_uri().c_str());
+}
+
+void Node::transmit(FaceId face, std::size_t wire_bytes, std::function<void()> deliver,
+                    const char* kind, const std::string& name_uri) {
+  FaceEnd& end = faces_.at(face);
+  if (end.config.sample_loss(rng_)) {
+    util::log(util::LogLevel::kDebug, "%s: %s %s lost on face %zu", name_.c_str(), kind,
+              name_uri.c_str(), face);
+    return;
+  }
+  // Propagation + jitter (no size component)...
+  util::SimDuration delay = end.config.sample_delay(rng_, 0);
+  // ... plus transmission, which serializes behind earlier packets when
+  // the link models a FIFO queue.
+  if (end.config.bandwidth_bps > 0.0) {
+    const auto tx = static_cast<util::SimDuration>(
+        static_cast<double>(wire_bytes) * 8.0 / end.config.bandwidth_bps * 1e9);
+    if (end.config.fifo_queue) {
+      const util::SimTime start = std::max(scheduler_.now(), end.busy_until);
+      end.busy_until = start + tx;
+      delay += (start - scheduler_.now()) + tx;
+    } else {
+      delay += tx;
+    }
+  }
+  scheduler_.schedule_in(delay, std::move(deliver));
+}
+
+void Node::send_interest(FaceId face, const ndn::Interest& interest) {
+  Node* peer = faces_.at(face).peer;
+  const FaceId peer_face = faces_.at(face).peer_face;
+  if (const auto& tap = faces_.at(face).config.tap) {
+    tap->record({.sent_at = scheduler_.now(),
+                 .kind = PacketKind::kInterest,
+                 .sender = name_,
+                 .receiver = peer->name(),
+                 .name = interest.name,
+                 .wire_bytes = interest.wire_size(),
+                 .wire = ndn::encode(interest)});
+  }
+  transmit(
+      face, interest.wire_size(),
+      [peer, peer_face, interest] { peer->receive_interest(interest, peer_face); },
+      "interest", interest.name.to_uri());
+}
+
+void Node::send_data(FaceId face, const ndn::Data& data) {
+  Node* peer = faces_.at(face).peer;
+  const FaceId peer_face = faces_.at(face).peer_face;
+  if (const auto& tap = faces_.at(face).config.tap) {
+    tap->record({.sent_at = scheduler_.now(),
+                 .kind = PacketKind::kData,
+                 .sender = name_,
+                 .receiver = peer->name(),
+                 .name = data.name,
+                 .wire_bytes = data.wire_size(),
+                 .wire = ndn::encode(data)});
+  }
+  transmit(
+      face, data.wire_size(),
+      [peer, peer_face, data] { peer->receive_data(data, peer_face); },
+      "data", data.name.to_uri());
+}
+
+void Node::send_nack(FaceId face, const ndn::Nack& nack) {
+  Node* peer = faces_.at(face).peer;
+  const FaceId peer_face = faces_.at(face).peer_face;
+  if (const auto& tap = faces_.at(face).config.tap) {
+    tap->record({.sent_at = scheduler_.now(),
+                 .kind = PacketKind::kNack,
+                 .sender = name_,
+                 .receiver = peer->name(),
+                 .name = nack.interest.name,
+                 .wire_bytes = nack.wire_size(),
+                 .wire = ndn::encode(nack.interest)});
+  }
+  transmit(
+      face, nack.wire_size(),
+      [peer, peer_face, nack] { peer->receive_nack(nack, peer_face); },
+      "nack", nack.interest.name.to_uri());
+}
+
+const Node& Node::peer(FaceId face) const {
+  const FaceEnd& end = faces_.at(face);
+  if (end.peer == nullptr) throw std::logic_error("Node::peer: unconnected face");
+  return *end.peer;
+}
+
+}  // namespace ndnp::sim

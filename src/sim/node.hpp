@@ -1,0 +1,84 @@
+// Simulation node base class and face plumbing.
+//
+// A node is anything that terminates NDN links: routers (Forwarder),
+// content producers, consumers, adversaries. Nodes exchange Interest/Data
+// packets over faces; a face is one endpoint of a bidirectional
+// point-to-point link created by connect(). Packet hand-off goes through
+// the shared Scheduler with a per-direction sampled link delay, so all
+// timing the attacks measure emerges from link configs plus node processing
+// delays.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ndn/packet.hpp"
+#include "sim/link.hpp"
+#include "sim/scheduler.hpp"
+
+namespace ndnp::sim {
+
+using FaceId = std::size_t;
+
+class Node {
+ public:
+  Node(Scheduler& scheduler, std::string name, std::uint64_t seed);
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Packet arrival entry points, invoked by the scheduler after the link
+  /// delay has elapsed.
+  virtual void receive_interest(const ndn::Interest& interest, FaceId in_face) = 0;
+  virtual void receive_data(const ndn::Data& data, FaceId in_face) = 0;
+  /// NACK arrival; the default implementation drops it.
+  virtual void receive_nack(const ndn::Nack& nack, FaceId in_face);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t face_count() const noexcept { return faces_.size(); }
+  [[nodiscard]] Scheduler& scheduler() noexcept { return scheduler_; }
+  [[nodiscard]] util::SimTime now() const noexcept { return scheduler_.now(); }
+
+  /// Create a bidirectional link between two nodes; both directions use
+  /// `config` (independently sampled). Returns (face on a, face on b).
+  friend std::pair<FaceId, FaceId> connect(Node& a, Node& b, const LinkConfig& config);
+
+  /// Transmit out of `face`; delivery is scheduled after the sampled link
+  /// delay (or dropped on sampled loss). On links with fifo_queue and a
+  /// finite bandwidth, packets additionally serialize behind earlier
+  /// transmissions in the same direction.
+  void send_interest(FaceId face, const ndn::Interest& interest);
+  void send_data(FaceId face, const ndn::Data& data);
+  void send_nack(FaceId face, const ndn::Nack& nack);
+
+  /// Peer node on the far end of `face` (diagnostics/topology checks).
+  [[nodiscard]] const Node& peer(FaceId face) const;
+
+ protected:
+  [[nodiscard]] util::Rng& rng() noexcept { return rng_; }
+
+ private:
+  struct FaceEnd {
+    Node* peer = nullptr;
+    FaceId peer_face = 0;
+    LinkConfig config;
+    /// Outgoing transmission frontier for fifo_queue links.
+    util::SimTime busy_until = util::kTimeZero;
+  };
+
+  /// Common transmission path: samples loss/delay (plus queueing when
+  /// enabled) and schedules `deliver` at the arrival time.
+  void transmit(FaceId face, std::size_t wire_bytes, std::function<void()> deliver,
+                const char* kind, const std::string& name_uri);
+
+  Scheduler& scheduler_;
+  std::string name_;
+  util::Rng rng_;
+  std::vector<FaceEnd> faces_;
+};
+
+std::pair<FaceId, FaceId> connect(Node& a, Node& b, const LinkConfig& config);
+
+}  // namespace ndnp::sim

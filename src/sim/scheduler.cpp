@@ -1,0 +1,41 @@
+#include "sim/scheduler.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ndnp::sim {
+
+void Scheduler::schedule_at(util::SimTime when, Event event) {
+  if (when < now_) throw std::logic_error("Scheduler: cannot schedule in the past");
+  if (!event) throw std::invalid_argument("Scheduler: null event");
+  queue_.push(Item{when, next_seq_++, std::move(event)});
+}
+
+void Scheduler::schedule_in(util::SimDuration delay, Event event) {
+  if (delay < 0) throw std::logic_error("Scheduler: negative delay");
+  schedule_at(now_ + delay, std::move(event));
+}
+
+bool Scheduler::run_one() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast, standard
+  // practice given pop() immediately discards the slot.
+  Item item = std::move(const_cast<Item&>(queue_.top()));
+  queue_.pop();
+  now_ = item.when;
+  ++processed_;
+  item.event();
+  return true;
+}
+
+void Scheduler::run() {
+  while (run_one()) {
+  }
+}
+
+void Scheduler::run_until(util::SimTime until) {
+  while (!queue_.empty() && queue_.top().when <= until) (void)run_one();
+  if (now_ < until) now_ = until;
+}
+
+}  // namespace ndnp::sim

@@ -1,0 +1,65 @@
+// Discrete-event scheduler.
+//
+// A binary heap of (time, sequence)-ordered events; equal-time events run
+// in schedule order (FIFO), which keeps packet-level simulations
+// deterministic. Single-threaded by design: network simulations at this
+// scale are dominated by event dispatch, and determinism is worth more to
+// the experiments than parallelism.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/sim_time.hpp"
+
+namespace ndnp::sim {
+
+class Scheduler {
+ public:
+  using Event = std::function<void()>;
+
+  /// Schedule at an absolute time; must not be in the past.
+  void schedule_at(util::SimTime when, Event event);
+
+  /// Schedule `delay` after the current time (delay >= 0).
+  void schedule_in(util::SimDuration delay, Event event);
+
+  /// Current simulation time: the timestamp of the event being processed,
+  /// or of the last processed event when idle.
+  [[nodiscard]] util::SimTime now() const noexcept { return now_; }
+
+  /// Run the earliest pending event; returns false if none are pending.
+  bool run_one();
+
+  /// Run until the queue drains.
+  void run();
+
+  /// Run events with timestamp <= `until` (the clock then advances to
+  /// `until` even if the queue drained earlier).
+  void run_until(util::SimTime until);
+
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
+
+ private:
+  struct Item {
+    util::SimTime when;
+    std::uint64_t seq;
+    Event event;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  util::SimTime now_ = util::kTimeZero;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace ndnp::sim

@@ -1,0 +1,111 @@
+#include "trace/network_replay.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/policies.hpp"
+#include "sim/apps.hpp"
+#include "sim/forwarder.hpp"
+#include "trace/replayer.hpp"
+
+namespace ndnp::trace {
+
+std::string_view to_string(Deployment deployment) noexcept {
+  switch (deployment) {
+    case Deployment::kNone: return "none";
+    case Deployment::kEdgeOnly: return "edge-only";
+    case Deployment::kEverywhere: return "everywhere";
+  }
+  return "?";
+}
+
+NetworkReplayResult replay_over_network(const Trace& tr, const NetworkReplayConfig& config) {
+  if (config.edge_routers == 0)
+    throw std::invalid_argument("replay_over_network: need at least one edge router");
+  if (!(config.time_compression > 0.0))
+    throw std::invalid_argument("replay_over_network: time compression must be positive");
+
+  sim::Scheduler sched;
+
+  const auto make_policy = [&](bool is_edge) -> std::unique_ptr<core::CachePrivacyPolicy> {
+    const bool wants_policy =
+        config.policy_factory &&
+        (config.deployment == Deployment::kEverywhere ||
+         (config.deployment == Deployment::kEdgeOnly && is_edge));
+    return wants_policy ? config.policy_factory() : nullptr;  // null -> NoPrivacy
+  };
+
+  // Core tier.
+  sim::ForwarderConfig core_cfg;
+  core_cfg.cs_capacity = config.core_cache;
+  core_cfg.eviction = config.eviction;
+  core_cfg.seed = config.seed ^ 0xff51afd7ed558ccdULL;
+  sim::Forwarder core(sched, "core", core_cfg, make_policy(/*is_edge=*/false));
+
+  // Producer: auto-generates the whole /web namespace.
+  sim::ProducerConfig pcfg;
+  pcfg.payload_size = 8'192;
+  sim::Producer producer(sched, "origin", ndn::Name("/web"), "origin-key", pcfg,
+                         config.seed + 1);
+  const sim::LinkConfig core_producer = sim::wan_link(8.0, 0.5, 0.4);
+  const auto [core_up, producer_down] = connect(core, producer, core_producer);
+  (void)producer_down;
+  core.add_route(ndn::Name("/web"), core_up);
+
+  // Edge tier, one aggregate consumer per edge router.
+  struct Edge {
+    std::unique_ptr<sim::Forwarder> router;
+    std::unique_ptr<sim::Consumer> consumer;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(config.edge_routers);
+  const sim::LinkConfig access = sim::lan_link(0.3, 0.05);
+  const sim::LinkConfig edge_core = sim::wan_link(2.0, 0.2, 0.4);
+  for (std::size_t i = 0; i < config.edge_routers; ++i) {
+    sim::ForwarderConfig edge_cfg;
+    edge_cfg.cs_capacity = config.edge_cache;
+    edge_cfg.eviction = config.eviction;
+    edge_cfg.seed = config.seed + 100 + i;
+    Edge edge;
+    edge.router = std::make_unique<sim::Forwarder>(sched, "edge" + std::to_string(i),
+                                                   edge_cfg, make_policy(/*is_edge=*/true));
+    edge.consumer = std::make_unique<sim::Consumer>(sched, "users" + std::to_string(i),
+                                                    config.seed + 200 + i);
+    connect(*edge.consumer, *edge.router, access);
+    const auto [up, down] = connect(*edge.router, core, edge_core);
+    (void)down;
+    edge.router->add_route(ndn::Name("/web"), up);
+    edges.push_back(std::move(edge));
+  }
+
+  // Schedule every request at its compressed timestamp.
+  NetworkReplayResult result;
+  result.requests = tr.size();
+  for (const TraceRecord& record : tr.records) {
+    const auto at = static_cast<util::SimTime>(record.timestamp_s * 1e9 /
+                                               config.time_compression);
+    Edge& edge = edges[record.user_id % config.edge_routers];
+    sim::Consumer* consumer = edge.consumer.get();
+    const bool is_private =
+        is_private_content(record.name, config.private_fraction, config.seed);
+    const ndn::Name name = record.name;
+    sched.schedule_at(at, [consumer, name, is_private, &result] {
+      ndn::Interest interest;
+      interest.name = name;
+      interest.private_req = is_private;
+      consumer->express_interest(interest,
+                                 [&result](const ndn::Data&, util::SimDuration rtt) {
+                                   ++result.completed;
+                                   result.rtt_ms.add(util::to_millis(rtt));
+                                 });
+    });
+  }
+  sched.run();
+
+  for (const Edge& edge : edges) result.edge_hits += edge.router->stats().exposed_hits;
+  result.core_hits = core.stats().exposed_hits;
+  result.producer_fetches = producer.interests_served();
+  return result;
+}
+
+}  // namespace ndnp::trace

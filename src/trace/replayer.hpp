@@ -1,0 +1,59 @@
+// Trace replayer: drives a CachePrivacyEngine with a request trace and
+// reports the hit-rate/latency metrics of the Section VII evaluation.
+//
+// Content is divided into private and non-private deterministically by
+// name hash with probability `private_fraction` (the paper: "we randomly
+// divide requested content into private and non-private"); every request
+// for private content carries the consumer privacy bit. The router caches
+// everything, evicts per the configured policy (LRU in the paper), and a
+// hit counts only when the policy exposes it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "cache/content_store.hpp"
+#include "core/engine.hpp"
+#include "trace/trace.hpp"
+
+namespace ndnp::trace {
+
+struct ReplayConfig {
+  /// 0 = unlimited (the paper's "Inf" column).
+  std::size_t cache_capacity = 8'000;
+  cache::EvictionPolicy eviction = cache::EvictionPolicy::kLru;
+  /// Fraction of content marked private (paper: 0.05 / 0.1 / 0.2 / 0.4).
+  double private_fraction = 0.2;
+  /// Factory for the router's privacy policy (fresh instance per replay).
+  std::function<std::unique_ptr<core::CachePrivacyPolicy>()> policy_factory;
+  /// Upstream fetch delay presented on true misses (mean, with a spread
+  /// sampled uniformly in [0.5, 1.5] of it).
+  util::SimDuration upstream_delay = util::millis(40);
+  /// Probability of admitting fetched content into the cache (1 = always).
+  double cache_admission_probability = 1.0;
+  std::uint64_t seed = 1;
+};
+
+struct ReplayResult {
+  core::EngineStats stats;
+  std::uint64_t private_requests = 0;
+
+  /// The paper's Figure 5 metric, in percent.
+  [[nodiscard]] double hit_rate_pct() const noexcept { return 100.0 * stats.hit_rate(); }
+  /// Bandwidth view (exposed + delayed hits), in percent.
+  [[nodiscard]] double cache_served_pct() const noexcept {
+    return 100.0 * stats.cache_served_rate();
+  }
+  /// Mean response delay per request, ms.
+  double mean_response_ms = 0.0;
+};
+
+/// Decide whether a name is in the private class for a given fraction —
+/// deterministic (hash-based), so all requests for one content agree.
+[[nodiscard]] bool is_private_content(const ndn::Name& name, double private_fraction,
+                                      std::uint64_t seed);
+
+[[nodiscard]] ReplayResult replay(const Trace& trace, const ReplayConfig& config);
+
+}  // namespace ndnp::trace

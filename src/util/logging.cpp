@@ -1,0 +1,43 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+
+namespace ndnp::util {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+[[nodiscard]] const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kTrace: return "TRACE";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() noexcept { return static_cast<LogLevel>(g_level.load()); }
+
+void vlog(LogLevel level, const char* fmt, std::va_list args) noexcept {
+  if (static_cast<int>(level) > g_level.load(std::memory_order_relaxed)) return;
+  std::fprintf(stderr, "[%s] ", level_name(level));
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+}
+
+void log(LogLevel level, const char* fmt, ...) noexcept {
+  if (static_cast<int>(level) > g_level.load(std::memory_order_relaxed)) return;
+  std::va_list args;
+  va_start(args, fmt);
+  vlog(level, fmt, args);
+  va_end(args);
+}
+
+}  // namespace ndnp::util

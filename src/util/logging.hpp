@@ -1,0 +1,33 @@
+// Minimal leveled logger.
+//
+// The simulator is a library, so logging is opt-in and goes through a
+// process-global level that benches/examples can raise for debugging.
+// Printing is printf-style to keep call sites short and allocation-free on
+// the fast path when the level is disabled.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace ndnp::util {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3, kTrace = 4 };
+
+/// Process-global log threshold; messages above it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Core sink: writes "[LEVEL] <message>\n" to stderr when enabled.
+void vlog(LogLevel level, const char* fmt, std::va_list args) noexcept;
+
+#if defined(__GNUC__)
+#define NDNP_PRINTF_LIKE __attribute__((format(printf, 2, 3)))
+#else
+#define NDNP_PRINTF_LIKE
+#endif
+
+void log(LogLevel level, const char* fmt, ...) noexcept NDNP_PRINTF_LIKE;
+
+#undef NDNP_PRINTF_LIKE
+
+}  // namespace ndnp::util

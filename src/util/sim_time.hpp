@@ -1,0 +1,49 @@
+// Simulation time primitives.
+//
+// All simulator components express time as `SimTime`, a signed 64-bit count
+// of nanoseconds since the start of the simulation. A dedicated strong-ish
+// alias (rather than std::chrono) keeps the discrete-event core trivially
+// serializable and free of template noise, while the helpers below keep
+// call sites readable (`millis(5)` instead of `5'000'000`).
+#pragma once
+
+#include <cstdint>
+
+namespace ndnp::util {
+
+/// Nanoseconds since simulation start. Negative values are never scheduled;
+/// they are used only as "unset" sentinels by some components.
+using SimTime = std::int64_t;
+
+/// Duration in nanoseconds (same representation as SimTime).
+using SimDuration = std::int64_t;
+
+inline constexpr SimTime kTimeZero = 0;
+
+/// Sentinel meaning "no time recorded".
+inline constexpr SimTime kTimeUnset = -1;
+
+[[nodiscard]] constexpr SimDuration nanos(std::int64_t n) noexcept { return n; }
+[[nodiscard]] constexpr SimDuration micros(std::int64_t us) noexcept { return us * 1'000; }
+[[nodiscard]] constexpr SimDuration millis(std::int64_t ms) noexcept { return ms * 1'000'000; }
+[[nodiscard]] constexpr SimDuration seconds(std::int64_t s) noexcept { return s * 1'000'000'000; }
+
+/// Fractional-millisecond constructor, useful for sub-millisecond link
+/// latencies (e.g. `millis_f(0.05)` for a 50 us LAN hop).
+[[nodiscard]] constexpr SimDuration millis_f(double ms) noexcept {
+  return static_cast<SimDuration>(ms * 1'000'000.0);
+}
+
+[[nodiscard]] constexpr double to_millis(SimDuration d) noexcept {
+  return static_cast<double>(d) / 1'000'000.0;
+}
+
+[[nodiscard]] constexpr double to_micros(SimDuration d) noexcept {
+  return static_cast<double>(d) / 1'000.0;
+}
+
+[[nodiscard]] constexpr double to_seconds(SimDuration d) noexcept {
+  return static_cast<double>(d) / 1'000'000'000.0;
+}
+
+}  // namespace ndnp::util

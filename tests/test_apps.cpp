@@ -1,0 +1,212 @@
+#include "sim/apps.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "crypto/hmac.hpp"
+#include "sim/forwarder.hpp"
+
+namespace ndnp::sim {
+namespace {
+
+LinkConfig fixed_link(double latency_ms) {
+  LinkConfig cfg;
+  cfg.latency = util::millis_f(latency_ms);
+  return cfg;
+}
+
+TEST(Consumer, NonceAutoAssignedAndUnique) {
+  Scheduler sched;
+  Consumer consumer(sched, "C", 1);
+  const std::uint64_t a = consumer.make_nonce();
+  const std::uint64_t b = consumer.make_nonce();
+  EXPECT_NE(a, b);
+}
+
+TEST(Consumer, TimeoutFiresWhenUnanswered) {
+  Scheduler sched;
+  Consumer consumer(sched, "C", 1);
+  Producer producer(sched, "P", ndn::Name("/p"), "key", {}, 2);
+  connect(consumer, producer, fixed_link(1.0));
+
+  bool data_seen = false;
+  bool timed_out = false;
+  ndn::Interest interest;
+  interest.name = ndn::Name("/other/x");  // producer won't serve this
+  consumer.express_interest(
+      interest, [&](const ndn::Data&, util::SimDuration) { data_seen = true; }, 0,
+      util::millis(50), [&](const ndn::Interest&) { timed_out = true; });
+  sched.run();
+  EXPECT_FALSE(data_seen);
+  EXPECT_TRUE(timed_out);
+  EXPECT_EQ(consumer.outstanding(), 0u);
+  EXPECT_EQ(consumer.timeouts(), 1u);
+}
+
+TEST(Consumer, TimeoutDoesNotFireAfterData) {
+  Scheduler sched;
+  Consumer consumer(sched, "C", 1);
+  Producer producer(sched, "P", ndn::Name("/p"), "key", {}, 2);
+  connect(consumer, producer, fixed_link(1.0));
+
+  bool data_seen = false;
+  bool timed_out = false;
+  ndn::Interest interest;
+  interest.name = ndn::Name("/p/x");
+  consumer.express_interest(
+      interest, [&](const ndn::Data&, util::SimDuration) { data_seen = true; }, 0,
+      util::millis(500), [&](const ndn::Interest&) { timed_out = true; });
+  sched.run();
+  EXPECT_TRUE(data_seen);
+  EXPECT_FALSE(timed_out);
+  EXPECT_EQ(consumer.timeouts(), 0u);
+}
+
+TEST(Consumer, MeasuresRttAgainstDirectProducer) {
+  Scheduler sched;
+  Consumer consumer(sched, "C", 1);
+  ProducerConfig pcfg;
+  pcfg.processing_delay = 0;
+  Producer producer(sched, "P", ndn::Name("/p"), "key", pcfg, 2);
+  connect(consumer, producer, fixed_link(3.0));
+
+  std::optional<util::SimDuration> rtt;
+  consumer.fetch(ndn::Name("/p/x"), [&](const ndn::Data&, util::SimDuration r) { rtt = r; });
+  sched.run();
+  ASSERT_TRUE(rtt.has_value());
+  EXPECT_EQ(*rtt, util::millis(6));
+}
+
+TEST(Consumer, IgnoresIncomingInterests) {
+  Scheduler sched;
+  Consumer a(sched, "A", 1);
+  Consumer b(sched, "B", 2);
+  connect(a, b, fixed_link(1.0));
+  ndn::Interest interest;
+  interest.name = ndn::Name("/x");
+  interest.nonce = 1;
+  a.send_interest(0, interest);
+  sched.run();  // must not crash, nothing happens
+  EXPECT_EQ(b.data_received(), 0u);
+}
+
+TEST(Producer, ServesPublishedContentVerbatim) {
+  Scheduler sched;
+  Consumer consumer(sched, "C", 1);
+  ProducerConfig pcfg;
+  pcfg.auto_generate = false;
+  Producer producer(sched, "P", ndn::Name("/p"), "key", pcfg, 2);
+  connect(consumer, producer, fixed_link(1.0));
+  producer.publish(ndn::make_data(ndn::Name("/p/published"), "exact-bytes", "P", "key"));
+
+  std::optional<std::string> payload;
+  consumer.fetch(ndn::Name("/p/published"),
+                 [&](const ndn::Data& data, util::SimDuration) { payload = data.payload; });
+  sched.run();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, "exact-bytes");
+}
+
+TEST(Producer, RepoPrefixMatchServesChild) {
+  Scheduler sched;
+  Consumer consumer(sched, "C", 1);
+  ProducerConfig pcfg;
+  pcfg.auto_generate = false;
+  Producer producer(sched, "P", ndn::Name("/p"), "key", pcfg, 2);
+  connect(consumer, producer, fixed_link(1.0));
+  producer.publish(ndn::make_data(ndn::Name("/p/dir/file"), "bytes", "P", "key"));
+
+  bool got = false;
+  consumer.fetch(ndn::Name("/p/dir"),
+                 [&](const ndn::Data& data, util::SimDuration) {
+                   got = true;
+                   EXPECT_EQ(data.name.to_uri(), "/p/dir/file");
+                 });
+  sched.run();
+  EXPECT_TRUE(got);
+}
+
+TEST(Producer, AutoGenerateHonorsPayloadSizeAndPrivacy) {
+  Scheduler sched;
+  Consumer consumer(sched, "C", 1);
+  ProducerConfig pcfg;
+  pcfg.payload_size = 123;
+  pcfg.mark_private = true;
+  Producer producer(sched, "P", ndn::Name("/p"), "key", pcfg, 2);
+  connect(consumer, producer, fixed_link(1.0));
+
+  std::optional<ndn::Data> seen;
+  consumer.fetch(ndn::Name("/p/generated"),
+                 [&](const ndn::Data& data, util::SimDuration) { seen = data; });
+  sched.run();
+  ASSERT_TRUE(seen.has_value());
+  EXPECT_EQ(seen->payload.size(), 123u);
+  EXPECT_TRUE(seen->producer_private);
+  EXPECT_TRUE(crypto::verify_content("key", seen->name.to_uri(), seen->payload,
+                                     seen->signature));
+}
+
+TEST(Producer, GroupIdAssignedFromNamespace) {
+  Scheduler sched;
+  Consumer consumer(sched, "C", 1);
+  ProducerConfig pcfg;
+  pcfg.group_namespace_len = 2;
+  Producer producer(sched, "P", ndn::Name("/p"), "key", pcfg, 2);
+  connect(consumer, producer, fixed_link(1.0));
+
+  std::optional<ndn::Data> seen;
+  consumer.fetch(ndn::Name("/p/album/photo7"),
+                 [&](const ndn::Data& data, util::SimDuration) { seen = data; });
+  sched.run();
+  ASSERT_TRUE(seen.has_value());
+  EXPECT_EQ(seen->group_id, "/p/album");
+}
+
+TEST(Producer, IgnoresInterestsOutsidePrefix) {
+  Scheduler sched;
+  Consumer consumer(sched, "C", 1);
+  Producer producer(sched, "P", ndn::Name("/p"), "key", {}, 2);
+  connect(consumer, producer, fixed_link(1.0));
+
+  bool got = false;
+  consumer.fetch(ndn::Name("/elsewhere/x"),
+                 [&](const ndn::Data&, util::SimDuration) { got = true; });
+  sched.run();
+  EXPECT_FALSE(got);
+  EXPECT_EQ(producer.interests_unmatched(), 1u);
+  EXPECT_EQ(producer.interests_served(), 0u);
+}
+
+TEST(Node, ConnectRejectsSelfLink) {
+  Scheduler sched;
+  Consumer consumer(sched, "C", 1);
+  EXPECT_THROW(connect(consumer, consumer, fixed_link(1.0)), std::invalid_argument);
+}
+
+TEST(Node, PeerAccessor) {
+  Scheduler sched;
+  Consumer consumer(sched, "C", 1);
+  Producer producer(sched, "P", ndn::Name("/p"), "key", {}, 2);
+  const auto [cf, pf] = connect(consumer, producer, fixed_link(1.0));
+  EXPECT_EQ(consumer.peer(cf).name(), "P");
+  EXPECT_EQ(producer.peer(pf).name(), "C");
+  EXPECT_THROW((void)consumer.peer(99), std::out_of_range);
+}
+
+TEST(Node, LossyLinkDropsPackets) {
+  Scheduler sched;
+  Consumer consumer(sched, "C", 1);
+  Producer producer(sched, "P", ndn::Name("/p"), "key", {}, 2);
+  LinkConfig lossy = fixed_link(1.0);
+  lossy.loss_probability = 1.0;  // everything dropped
+  connect(consumer, producer, lossy);
+  bool got = false;
+  consumer.fetch(ndn::Name("/p/x"), [&](const ndn::Data&, util::SimDuration) { got = true; });
+  sched.run();
+  EXPECT_FALSE(got);
+  EXPECT_EQ(producer.interests_served(), 0u);
+}
+
+}  // namespace
+}  // namespace ndnp::sim

@@ -1,0 +1,105 @@
+#include "core/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/policies.hpp"
+#include "core/theory.hpp"
+
+namespace ndnp::core {
+namespace {
+
+AuditConfig fast_config() {
+  AuditConfig config;
+  config.x = 2;
+  config.probes = 24;
+  config.rounds = 8'000;
+  config.delta = 0.05;
+  config.seed = 5;
+  return config;
+}
+
+TEST(Audit, AlwaysDelayLooksPerfectlyPrivate) {
+  // Every probe looks like a miss under Always-Delay: S_0 and S_x views
+  // are identical (all-miss runs) -> chance accuracy, zero budget.
+  const AuditReport report = audit_policy(
+      [] {
+        return std::make_unique<AlwaysDelayPolicy>(AlwaysDelayPolicy::content_specific());
+      },
+      fast_config());
+  EXPECT_NEAR(report.bayes_accuracy, 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(report.epsilon_at_delta, 0.0);
+  EXPECT_NEAR(report.delta_near_zero_epsilon, 0.0, 1e-9);
+}
+
+TEST(Audit, NoPrivacyFullyDistinguishable) {
+  const AuditReport report =
+      audit_policy([] { return std::make_unique<NoPrivacyPolicy>(); }, fast_config());
+  EXPECT_NEAR(report.bayes_accuracy, 1.0, 1e-9);
+  EXPECT_TRUE(std::isinf(report.epsilon_at_delta));  // one-sided mass >> delta
+}
+
+TEST(Audit, NaiveThresholdFullyDistinguishable) {
+  const AuditReport report = audit_policy(
+      [] { return std::make_unique<NaiveThresholdPolicy>(5); }, fast_config());
+  // Deterministic miss-run shift: S_0 and S_x never overlap.
+  EXPECT_NEAR(report.bayes_accuracy, 1.0, 1e-9);
+}
+
+TEST(Audit, UniformRandomCacheMatchesTheoremVI1) {
+  constexpr std::int64_t kDomain = 20;
+  AuditConfig config = fast_config();
+  config.probes = kDomain + 5;  // expose the full output space
+  config.rounds = 40'000;
+  auto seed = std::make_shared<std::uint64_t>(0);
+  const AuditReport report = audit_policy(
+      [seed] { return RandomCachePolicy::uniform(kDomain, ++*seed); }, config);
+  const PrivacyBudget bound = uniform_privacy(config.x, kDomain);
+  // Empirical Bayes accuracy ~ 1/2 + delta/4 for the uniform scheme.
+  EXPECT_NEAR(report.bayes_accuracy, 0.5 + bound.delta / 4.0, 0.02);
+  EXPECT_NEAR(report.delta_near_zero_epsilon, bound.delta, 0.06);
+}
+
+TEST(Audit, ExpoTighterThanUniformAtSameDomain) {
+  // At equal K the exponential scheme (alpha < 1) concentrates thresholds
+  // low: better utility, strictly more leakage. The auditor should see it.
+  constexpr std::int64_t kDomain = 20;
+  AuditConfig config = fast_config();
+  config.probes = kDomain + 5;
+  auto seed_u = std::make_shared<std::uint64_t>(0);
+  const AuditReport uniform = audit_policy(
+      [seed_u] { return RandomCachePolicy::uniform(kDomain, ++*seed_u); }, config);
+  auto seed_e = std::make_shared<std::uint64_t>(0);
+  const AuditReport expo = audit_policy(
+      [seed_e] { return RandomCachePolicy::exponential(0.7, kDomain, ++*seed_e); }, config);
+  EXPECT_GT(expo.bayes_accuracy, uniform.bayes_accuracy);
+}
+
+TEST(Audit, ValidatesArguments) {
+  EXPECT_THROW((void)audit_policy(nullptr, fast_config()), std::invalid_argument);
+  AuditConfig config = fast_config();
+  config.x = 0;
+  EXPECT_THROW(
+      (void)audit_policy([] { return std::make_unique<NoPrivacyPolicy>(); }, config),
+      std::invalid_argument);
+  config.x = 1;
+  config.rounds = 0;
+  EXPECT_THROW(
+      (void)audit_policy([] { return std::make_unique<NoPrivacyPolicy>(); }, config),
+      std::invalid_argument);
+}
+
+TEST(Audit, DistributionsAreNormalized) {
+  const AuditReport report =
+      audit_policy([] { return std::make_unique<NoPrivacyPolicy>(); }, fast_config());
+  double sum0 = 0.0;
+  double sumx = 0.0;
+  for (const double p : report.never_requested) sum0 += p;
+  for (const double p : report.requested_x) sumx += p;
+  EXPECT_NEAR(sum0, 1.0, 1e-9);
+  EXPECT_NEAR(sumx, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ndnp::core

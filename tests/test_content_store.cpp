@@ -1,0 +1,217 @@
+#include "cache/content_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ndnp::cache {
+namespace {
+
+ndn::Data make_content(const std::string& uri) {
+  ndn::Data data;
+  data.name = ndn::Name(uri);
+  data.payload = "payload";
+  return data;
+}
+
+ndn::Interest interest_for(const std::string& uri) {
+  ndn::Interest interest;
+  interest.name = ndn::Name(uri);
+  return interest;
+}
+
+EntryMeta meta_at(util::SimTime t) {
+  EntryMeta meta;
+  meta.inserted_at = t;
+  meta.last_access = t;
+  return meta;
+}
+
+TEST(ContentStore, InsertAndExactFind) {
+  ContentStore cs(10);
+  cs.insert(make_content("/a/b"), meta_at(1));
+  ASSERT_NE(cs.find_exact(ndn::Name("/a/b")), nullptr);
+  EXPECT_EQ(cs.find_exact(ndn::Name("/a/c")), nullptr);
+  EXPECT_EQ(cs.size(), 1u);
+  EXPECT_TRUE(cs.contains(ndn::Name("/a/b")));
+}
+
+TEST(ContentStore, PrefixLookupFindsLongerName) {
+  ContentStore cs(10);
+  cs.insert(make_content("/a/b/c"), meta_at(1));
+  EXPECT_NE(cs.find(interest_for("/a/b")), nullptr);
+  EXPECT_NE(cs.find(interest_for("/a/b/c")), nullptr);
+  EXPECT_EQ(cs.find(interest_for("/a/b/c/d")), nullptr);
+  EXPECT_EQ(cs.find(interest_for("/a/x")), nullptr);
+}
+
+TEST(ContentStore, PrefixLookupReturnsCanonicalSmallest) {
+  ContentStore cs(10);
+  cs.insert(make_content("/a/b/z"), meta_at(1));
+  cs.insert(make_content("/a/b/c"), meta_at(2));
+  const Entry* found = cs.find(interest_for("/a/b"));
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->data.name.to_uri(), "/a/b/c");
+}
+
+TEST(ContentStore, ExactMatchOnlyEntriesSkippedInPrefixScan) {
+  ContentStore cs(10);
+  ndn::Data secret = make_content("/a/b/rand777");
+  secret.exact_match_only = true;
+  cs.insert(std::move(secret), meta_at(1));
+  EXPECT_EQ(cs.find(interest_for("/a/b")), nullptr);
+  EXPECT_NE(cs.find(interest_for("/a/b/rand777")), nullptr);
+}
+
+TEST(ContentStore, ExactOnlySiblingDoesNotShadowLaterMatch) {
+  ContentStore cs(10);
+  ndn::Data secret = make_content("/a/b/1rand");
+  secret.exact_match_only = true;
+  cs.insert(std::move(secret), meta_at(1));
+  cs.insert(make_content("/a/b/2plain"), meta_at(2));
+  const Entry* found = cs.find(interest_for("/a/b"));
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->data.name.to_uri(), "/a/b/2plain");
+}
+
+TEST(ContentStore, OverwriteKeepsSize) {
+  ContentStore cs(10);
+  cs.insert(make_content("/a"), meta_at(1));
+  ndn::Data updated = make_content("/a");
+  updated.payload = "new";
+  cs.insert(std::move(updated), meta_at(2));
+  EXPECT_EQ(cs.size(), 1u);
+  EXPECT_EQ(cs.find_exact(ndn::Name("/a"))->data.payload, "new");
+}
+
+TEST(ContentStore, EraseAndClear) {
+  ContentStore cs(10);
+  cs.insert(make_content("/a"), meta_at(1));
+  cs.insert(make_content("/b"), meta_at(1));
+  EXPECT_TRUE(cs.erase(ndn::Name("/a")));
+  EXPECT_FALSE(cs.erase(ndn::Name("/a")));
+  EXPECT_EQ(cs.size(), 1u);
+  cs.clear();
+  EXPECT_EQ(cs.size(), 0u);
+}
+
+TEST(ContentStore, UnlimitedCapacityNeverEvicts) {
+  ContentStore cs(0);
+  EXPECT_TRUE(cs.unbounded());
+  for (int i = 0; i < 1000; ++i)
+    cs.insert(make_content("/obj/" + std::to_string(i)), meta_at(i));
+  EXPECT_EQ(cs.size(), 1000u);
+  EXPECT_EQ(cs.stats().evictions, 0u);
+}
+
+TEST(ContentStore, LruEvictsLeastRecentlyUsed) {
+  ContentStore cs(2, EvictionPolicy::kLru);
+  cs.insert(make_content("/a"), meta_at(1));
+  cs.insert(make_content("/b"), meta_at(2));
+  // Touch /a so /b becomes the LRU victim.
+  cs.touch(*cs.find_exact(ndn::Name("/a")), 3);
+  cs.insert(make_content("/c"), meta_at(4));
+  EXPECT_TRUE(cs.contains(ndn::Name("/a")));
+  EXPECT_FALSE(cs.contains(ndn::Name("/b")));
+  EXPECT_TRUE(cs.contains(ndn::Name("/c")));
+  EXPECT_EQ(cs.stats().evictions, 1u);
+}
+
+TEST(ContentStore, FifoIgnoresAccessOrder) {
+  ContentStore cs(2, EvictionPolicy::kFifo);
+  cs.insert(make_content("/a"), meta_at(1));
+  cs.insert(make_content("/b"), meta_at(2));
+  cs.touch(*cs.find_exact(ndn::Name("/a")), 3);  // irrelevant for FIFO
+  cs.insert(make_content("/c"), meta_at(4));
+  EXPECT_FALSE(cs.contains(ndn::Name("/a")));  // oldest insertion evicted
+  EXPECT_TRUE(cs.contains(ndn::Name("/b")));
+}
+
+TEST(ContentStore, LfuEvictsColdestEntry) {
+  ContentStore cs(2, EvictionPolicy::kLfu);
+  cs.insert(make_content("/hot"), meta_at(1));
+  cs.insert(make_content("/cold"), meta_at(2));
+  for (int i = 0; i < 5; ++i) cs.touch(*cs.find_exact(ndn::Name("/hot")), 3 + i);
+  cs.insert(make_content("/new"), meta_at(10));
+  EXPECT_TRUE(cs.contains(ndn::Name("/hot")));
+  EXPECT_FALSE(cs.contains(ndn::Name("/cold")));
+}
+
+TEST(ContentStore, RandomEvictionKeepsCapacityBound) {
+  ContentStore cs(16, EvictionPolicy::kRandom, /*seed=*/3);
+  for (int i = 0; i < 200; ++i)
+    cs.insert(make_content("/obj/" + std::to_string(i)), meta_at(i));
+  EXPECT_EQ(cs.size(), 16u);
+  EXPECT_EQ(cs.stats().evictions, 200u - 16u);
+}
+
+TEST(ContentStore, TouchUpdatesLastAccess) {
+  ContentStore cs(4);
+  cs.insert(make_content("/a"), meta_at(1));
+  Entry* entry = cs.find_exact(ndn::Name("/a"));
+  cs.touch(*entry, 42);
+  EXPECT_EQ(entry->meta.last_access, 42);
+}
+
+TEST(ContentStore, StatsCountLookups) {
+  ContentStore cs(4);
+  cs.insert(make_content("/a"), meta_at(1));
+  (void)cs.find(interest_for("/a"));
+  (void)cs.find(interest_for("/zzz"));
+  EXPECT_EQ(cs.stats().lookups, 2u);
+  EXPECT_EQ(cs.stats().matches, 1u);
+  EXPECT_EQ(cs.stats().inserts, 1u);
+}
+
+TEST(ContentStore, PolicyToString) {
+  EXPECT_EQ(to_string(EvictionPolicy::kLru), "LRU");
+  EXPECT_EQ(to_string(EvictionPolicy::kFifo), "FIFO");
+  EXPECT_EQ(to_string(EvictionPolicy::kLfu), "LFU");
+  EXPECT_EQ(to_string(EvictionPolicy::kRandom), "Random");
+}
+
+// Property sweep: every policy must respect capacity, keep find() coherent
+// with contains(), and evict exactly size-overflow entries.
+class EvictionPolicyTest : public ::testing::TestWithParam<EvictionPolicy> {};
+
+TEST_P(EvictionPolicyTest, CapacityAlwaysRespected) {
+  ContentStore cs(8, GetParam(), /*seed=*/11);
+  for (int i = 0; i < 100; ++i) {
+    cs.insert(make_content("/obj/" + std::to_string(i)), meta_at(i));
+    EXPECT_LE(cs.size(), 8u);
+    if (i % 3 == 0) {
+      if (Entry* e = cs.find(interest_for("/obj/" + std::to_string(i)))) cs.touch(*e, i);
+    }
+  }
+  EXPECT_EQ(cs.size(), 8u);
+  EXPECT_EQ(cs.stats().evictions, 92u);
+}
+
+TEST_P(EvictionPolicyTest, EraseKeepsIndexConsistent) {
+  ContentStore cs(8, GetParam(), /*seed=*/13);
+  for (int i = 0; i < 8; ++i) cs.insert(make_content("/obj/" + std::to_string(i)), meta_at(i));
+  EXPECT_TRUE(cs.erase(ndn::Name("/obj/3")));
+  EXPECT_TRUE(cs.erase(ndn::Name("/obj/7")));
+  // Refill past capacity; no crash, bound respected.
+  for (int i = 8; i < 40; ++i) cs.insert(make_content("/obj/" + std::to_string(i)), meta_at(i));
+  EXPECT_EQ(cs.size(), 8u);
+}
+
+TEST_P(EvictionPolicyTest, MostRecentInsertSurvivesEviction) {
+  ContentStore cs(4, GetParam(), /*seed=*/17);
+  for (int i = 0; i < 50; ++i) {
+    const std::string uri = "/obj/" + std::to_string(i);
+    cs.insert(make_content(uri), meta_at(i));
+    EXPECT_TRUE(cs.contains(ndn::Name(uri))) << "policy evicted the entry just inserted";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, EvictionPolicyTest,
+                         ::testing::Values(EvictionPolicy::kLru, EvictionPolicy::kFifo,
+                                           EvictionPolicy::kLfu, EvictionPolicy::kRandom),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace ndnp::cache

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+
+namespace ndnp::crypto {
+namespace {
+
+std::string hex(const Sha256Digest& digest) { return to_hex(digest); }
+
+// FIPS 180-4 / NIST CAVP test vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex(Sha256::hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex(Sha256::hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hex(Sha256::hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, ExactlyOneBlock) {
+  // 64 bytes: padding spills into a second block.
+  const std::string msg(64, 'a');
+  EXPECT_EQ(hex(Sha256::hash(msg)),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+}
+
+TEST(Sha256, FiftyFiveAndFiftySixBytes) {
+  // 55 bytes: length fits in the same block as the terminator; 56: it
+  // does not. Both straddle the padding boundary logic.
+  EXPECT_EQ(hex(Sha256::hash(std::string(55, 'a'))),
+            "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318");
+  EXPECT_EQ(hex(Sha256::hash(std::string(56, 'a'))),
+            "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog, repeatedly";
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update(std::string_view(msg).substr(0, split));
+    h.update(std::string_view(msg).substr(split));
+    EXPECT_EQ(h.finish(), Sha256::hash(msg)) << "split at " << split;
+  }
+}
+
+TEST(Sha256, DigestPrefixHex) {
+  const Sha256Digest d = Sha256::hash("abc");
+  EXPECT_EQ(digest_prefix_hex(d, 8), "ba7816bf");
+  EXPECT_EQ(digest_prefix_hex(d, 64), hex(d));
+  EXPECT_THROW((void)digest_prefix_hex(d, 65), std::invalid_argument);
+}
+
+TEST(ToHex, Basic) {
+  const std::vector<std::uint8_t> bytes{0x00, 0x0f, 0xa5, 0xff};
+  EXPECT_EQ(to_hex(bytes), "000fa5ff");
+}
+
+// RFC 4231 HMAC-SHA-256 test cases.
+TEST(HmacSha256, Rfc4231Case1) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  EXPECT_EQ(to_hex(hmac_sha256(key, std::span<const std::uint8_t>(
+                                        reinterpret_cast<const std::uint8_t*>("Hi There"), 8))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  EXPECT_EQ(to_hex(hmac_sha256("Jefe", "what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3) {
+  const std::vector<std::uint8_t> key(20, 0xaa);
+  const std::vector<std::uint8_t> data(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, Rfc4231Case6LongKey) {
+  // Key longer than the block size must be hashed first.
+  const std::vector<std::uint8_t> key(131, 0xaa);
+  const std::string data = "Test Using Larger Than Block-Size Key - Hash Key First";
+  EXPECT_EQ(to_hex(hmac_sha256(key, std::span<const std::uint8_t>(
+                                        reinterpret_cast<const std::uint8_t*>(data.data()),
+                                        data.size()))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, DifferentKeysDifferentMacs) {
+  EXPECT_NE(hmac_sha256("key1", "message"), hmac_sha256("key2", "message"));
+}
+
+TEST(Prf, Deterministic) {
+  const Prf a("shared-secret");
+  const Prf b("shared-secret");
+  EXPECT_EQ(a.derive("audio", 7), b.derive("audio", 7));
+  EXPECT_EQ(a.derive_token("audio", 7), b.derive_token("audio", 7));
+}
+
+TEST(Prf, LabelAndCounterSeparate) {
+  const Prf prf("secret");
+  EXPECT_NE(prf.derive("audio", 1), prf.derive("audio", 2));
+  EXPECT_NE(prf.derive("audio", 1), prf.derive("video", 1));
+}
+
+TEST(Prf, DomainSeparatorPreventsLabelCounterAmbiguity) {
+  const Prf prf("secret");
+  // "ab" + counter 0x63... vs "abc" + shifted counter must not collide:
+  // the 0x00 separator guarantees injective encoding.
+  EXPECT_NE(prf.derive("ab", 0x6300000000000000ULL), prf.derive("abc", 0));
+}
+
+TEST(Prf, TokenLengthControlsOutput) {
+  const Prf prf("secret");
+  EXPECT_EQ(prf.derive_token("l", 0, 16).size(), 16u);
+  EXPECT_EQ(prf.derive_token("l", 0, 64).size(), 64u);
+}
+
+TEST(Prf, DifferentSecretsDiverge) {
+  const Prf a("secret-a");
+  const Prf b("secret-b");
+  EXPECT_NE(a.derive_token("l", 0), b.derive_token("l", 0));
+}
+
+TEST(ContentSignature, SignAndVerify) {
+  const auto sig = sign_content("producer-key", "/alice/photo/1", "payload-bytes");
+  EXPECT_TRUE(verify_content("producer-key", "/alice/photo/1", "payload-bytes", sig));
+}
+
+TEST(ContentSignature, RejectsTamperedPayload) {
+  const auto sig = sign_content("producer-key", "/alice/photo/1", "payload-bytes");
+  EXPECT_FALSE(verify_content("producer-key", "/alice/photo/1", "tampered", sig));
+}
+
+TEST(ContentSignature, RejectsWrongKey) {
+  const auto sig = sign_content("producer-key", "/alice/photo/1", "payload");
+  EXPECT_FALSE(verify_content("other-key", "/alice/photo/1", "payload", sig));
+}
+
+TEST(ContentSignature, NameLengthPrefixPreventsSplicing) {
+  // (name="/a", payload="b/c") must not collide with (name="/a/b", "/c").
+  EXPECT_NE(sign_content("k", "/a", "b/c"), sign_content("k", "/a/b", "/c"));
+}
+
+}  // namespace
+}  // namespace ndnp::crypto

@@ -1,0 +1,267 @@
+#include "core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/policies.hpp"
+
+namespace ndnp::core {
+namespace {
+
+constexpr util::SimDuration kFetchDelay = util::millis(30);
+
+CachePrivacyEngine::FetchFn make_fetch(bool producer_private = false) {
+  return [producer_private](const ndn::Interest& interest) {
+    return std::pair{
+        ndn::make_data(interest.name, "payload", "producer", "key", producer_private),
+        kFetchDelay};
+  };
+}
+
+ndn::Interest interest_for(const std::string& uri, bool private_req = false) {
+  ndn::Interest interest;
+  interest.name = ndn::Name(uri);
+  interest.private_req = private_req;
+  return interest;
+}
+
+TEST(Engine, FirstRequestIsTrueMiss) {
+  CachePrivacyEngine engine(10, cache::EvictionPolicy::kLru,
+                            std::make_unique<NoPrivacyPolicy>());
+  const RequestOutcome outcome = engine.handle(interest_for("/a"), 0, make_fetch());
+  EXPECT_EQ(outcome.kind, RequestOutcome::Kind::kTrueMiss);
+  EXPECT_EQ(outcome.response_delay, kFetchDelay);
+  EXPECT_FALSE(outcome.served_from_cache);
+  EXPECT_EQ(engine.stats().true_misses, 1u);
+  EXPECT_TRUE(engine.store().contains(ndn::Name("/a")));
+}
+
+TEST(Engine, SecondRequestIsExposedHitUnderNoPrivacy) {
+  CachePrivacyEngine engine(10, cache::EvictionPolicy::kLru,
+                            std::make_unique<NoPrivacyPolicy>());
+  (void)engine.handle(interest_for("/a"), 0, make_fetch());
+  const RequestOutcome outcome = engine.handle(interest_for("/a"), 1, make_fetch());
+  EXPECT_EQ(outcome.kind, RequestOutcome::Kind::kExposedHit);
+  EXPECT_EQ(outcome.response_delay, 0);
+  EXPECT_TRUE(outcome.served_from_cache);
+  EXPECT_EQ(engine.stats().exposed_hits, 1u);
+  EXPECT_DOUBLE_EQ(engine.stats().hit_rate(), 0.5);
+}
+
+TEST(Engine, FetchDelayRecordedInMeta) {
+  CachePrivacyEngine engine(10, cache::EvictionPolicy::kLru,
+                            std::make_unique<NoPrivacyPolicy>());
+  (void)engine.handle(interest_for("/a"), 0, make_fetch());
+  const cache::Entry* entry = engine.store().find_exact(ndn::Name("/a"));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->meta.fetch_delay, kFetchDelay);
+  EXPECT_EQ(entry->meta.inserted_at, 0);
+}
+
+TEST(Engine, AlwaysDelayHidesPrivateHits) {
+  CachePrivacyEngine engine(
+      10, cache::EvictionPolicy::kLru,
+      std::make_unique<AlwaysDelayPolicy>(AlwaysDelayPolicy::content_specific()));
+  (void)engine.handle(interest_for("/a", true), 0, make_fetch());
+  const RequestOutcome outcome = engine.handle(interest_for("/a", true), 1, make_fetch());
+  EXPECT_EQ(outcome.kind, RequestOutcome::Kind::kDelayedHit);
+  EXPECT_EQ(outcome.response_delay, kFetchDelay);  // gamma_C == original fetch delay
+  EXPECT_TRUE(outcome.served_from_cache);          // bandwidth still saved
+  EXPECT_EQ(engine.stats().delayed_hits, 1u);
+  EXPECT_DOUBLE_EQ(engine.stats().hit_rate(), 0.0);           // hidden from the hit metric
+  EXPECT_DOUBLE_EQ(engine.stats().cache_served_rate(), 0.5);  // but served from cache
+}
+
+TEST(Engine, AlwaysDelayedHitIndistinguishableFromMissByDelay) {
+  // The adversary's view: response delay of a delayed hit equals the
+  // original fetch delay it would observe on a miss.
+  CachePrivacyEngine engine(
+      10, cache::EvictionPolicy::kLru,
+      std::make_unique<AlwaysDelayPolicy>(AlwaysDelayPolicy::content_specific()));
+  const RequestOutcome miss = engine.handle(interest_for("/a", true), 0, make_fetch());
+  const RequestOutcome hit = engine.handle(interest_for("/a", true), 1, make_fetch());
+  EXPECT_EQ(miss.response_delay, hit.response_delay);
+}
+
+TEST(Engine, ConstantGammaPadsMiss) {
+  CachePrivacyEngine engine(
+      10, cache::EvictionPolicy::kLru,
+      std::make_unique<AlwaysDelayPolicy>(AlwaysDelayPolicy::constant(util::millis(100))));
+  const RequestOutcome miss = engine.handle(interest_for("/a", true), 0, make_fetch());
+  EXPECT_EQ(miss.response_delay, util::millis(100));  // padded up from 30
+  const RequestOutcome hit = engine.handle(interest_for("/a", true), 1, make_fetch());
+  EXPECT_EQ(hit.response_delay, util::millis(100));
+}
+
+TEST(Engine, SimulatedMissLooksLikeOriginalFetch) {
+  CachePrivacyEngine engine(10, cache::EvictionPolicy::kLru,
+                            std::make_unique<NaiveThresholdPolicy>(1));
+  (void)engine.handle(interest_for("/a", true), 0, make_fetch());
+  const RequestOutcome outcome = engine.handle(interest_for("/a", true), 1, make_fetch());
+  EXPECT_EQ(outcome.kind, RequestOutcome::Kind::kSimulatedMiss);
+  EXPECT_EQ(outcome.response_delay, kFetchDelay);
+  EXPECT_FALSE(outcome.served_from_cache);
+  EXPECT_EQ(engine.stats().simulated_misses, 1u);
+}
+
+TEST(Engine, SimulatedMissRefreshesLru) {
+  // "the corresponding cache entry becomes fresh even if the response is
+  // delayed" — a simulated miss must still protect the entry from LRU
+  // eviction.
+  CachePrivacyEngine engine(2, cache::EvictionPolicy::kLru,
+                            std::make_unique<NaiveThresholdPolicy>(10));
+  (void)engine.handle(interest_for("/a", true), 0, make_fetch());
+  (void)engine.handle(interest_for("/b"), 1, make_fetch());
+  (void)engine.handle(interest_for("/a", true), 2, make_fetch());  // simulated miss, refresh
+  (void)engine.handle(interest_for("/c"), 3, make_fetch());        // evicts /b, not /a
+  EXPECT_TRUE(engine.store().contains(ndn::Name("/a")));
+  EXPECT_FALSE(engine.store().contains(ndn::Name("/b")));
+}
+
+TEST(Engine, ProducerPrivateHonoredWithoutConsumerBit) {
+  CachePrivacyEngine engine(
+      10, cache::EvictionPolicy::kLru,
+      std::make_unique<AlwaysDelayPolicy>(AlwaysDelayPolicy::content_specific()));
+  (void)engine.handle(interest_for("/a"), 0, make_fetch(/*producer_private=*/true));
+  const RequestOutcome outcome = engine.handle(interest_for("/a"), 1, make_fetch(true));
+  EXPECT_EQ(outcome.kind, RequestOutcome::Kind::kDelayedHit);
+}
+
+TEST(Engine, TriggerRuleDeprivatizesThroughEngine) {
+  CachePrivacyEngine engine(
+      10, cache::EvictionPolicy::kLru,
+      std::make_unique<AlwaysDelayPolicy>(AlwaysDelayPolicy::content_specific()));
+  (void)engine.handle(interest_for("/a", true), 0, make_fetch());
+  (void)engine.handle(interest_for("/a", false), 1, make_fetch());  // trigger
+  const RequestOutcome outcome = engine.handle(interest_for("/a", true), 2, make_fetch());
+  EXPECT_EQ(outcome.kind, RequestOutcome::Kind::kExposedHit);
+}
+
+TEST(Engine, RandomCacheEventuallyExposesHits) {
+  CachePrivacyEngine engine(10, cache::EvictionPolicy::kLru,
+                            RandomCachePolicy::uniform(5, /*seed=*/3));
+  (void)engine.handle(interest_for("/a", true), 0, make_fetch());
+  RequestOutcome outcome{};
+  for (int i = 1; i <= 6; ++i) {
+    outcome = engine.handle(interest_for("/a", true), i, make_fetch());
+    if (outcome.kind == RequestOutcome::Kind::kExposedHit) break;
+  }
+  EXPECT_EQ(outcome.kind, RequestOutcome::Kind::kExposedHit);
+  // Once open, the oracle stays open.
+  EXPECT_EQ(engine.handle(interest_for("/a", true), 10, make_fetch()).kind,
+            RequestOutcome::Kind::kExposedHit);
+}
+
+TEST(Engine, StatsAccumulateAcrossKinds) {
+  CachePrivacyEngine engine(10, cache::EvictionPolicy::kLru,
+                            std::make_unique<NaiveThresholdPolicy>(1));
+  (void)engine.handle(interest_for("/a", true), 0, make_fetch());  // true miss
+  (void)engine.handle(interest_for("/a", true), 1, make_fetch());  // simulated miss
+  (void)engine.handle(interest_for("/a", true), 2, make_fetch());  // exposed hit
+  (void)engine.handle(interest_for("/b"), 3, make_fetch());        // true miss
+  const EngineStats& stats = engine.stats();
+  EXPECT_EQ(stats.requests, 4u);
+  EXPECT_EQ(stats.true_misses, 2u);
+  EXPECT_EQ(stats.simulated_misses, 1u);
+  EXPECT_EQ(stats.exposed_hits, 1u);
+  EXPECT_EQ(stats.delayed_hits, 0u);
+  engine.reset_stats();
+  EXPECT_EQ(engine.stats().requests, 0u);
+}
+
+TEST(Engine, NullPolicyRejected) {
+  EXPECT_THROW(CachePrivacyEngine(10, cache::EvictionPolicy::kLru, nullptr),
+               std::invalid_argument);
+}
+
+TEST(Engine, OutcomeKindNames) {
+  EXPECT_EQ(to_string(RequestOutcome::Kind::kTrueMiss), "TrueMiss");
+  EXPECT_EQ(to_string(RequestOutcome::Kind::kExposedHit), "ExposedHit");
+  EXPECT_EQ(to_string(RequestOutcome::Kind::kDelayedHit), "DelayedHit");
+  EXPECT_EQ(to_string(RequestOutcome::Kind::kSimulatedMiss), "SimulatedMiss");
+}
+
+TEST(Engine, EvictionReachesCapacity) {
+  CachePrivacyEngine engine(4, cache::EvictionPolicy::kLru,
+                            std::make_unique<NoPrivacyPolicy>());
+  for (int i = 0; i < 20; ++i)
+    (void)engine.handle(interest_for("/obj/" + std::to_string(i)), i, make_fetch());
+  EXPECT_EQ(engine.store().size(), 4u);
+}
+
+TEST(EngineStats, RatesOnEmptyStatsAreZero) {
+  const EngineStats stats;
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.cache_served_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace ndnp::core
+
+namespace ndnp::core {
+namespace {
+
+TEST(EngineAdmission, ZeroProbabilityNeverCaches) {
+  CachePrivacyEngine engine(10, cache::EvictionPolicy::kLru,
+                            std::make_unique<NoPrivacyPolicy>(), /*seed=*/1,
+                            /*cache_admission_probability=*/0.0);
+  const auto fetch = [](const ndn::Interest& interest) {
+    return std::pair{ndn::make_data(interest.name, "x", "p", "k"), util::millis(30)};
+  };
+  for (int i = 0; i < 5; ++i) {
+    const RequestOutcome outcome = engine.handle(
+        [] {
+          ndn::Interest interest;
+          interest.name = ndn::Name("/a");
+          return interest;
+        }(),
+        i, fetch);
+    EXPECT_EQ(outcome.kind, RequestOutcome::Kind::kTrueMiss);
+  }
+  EXPECT_EQ(engine.store().size(), 0u);
+  EXPECT_EQ(engine.stats().true_misses, 5u);
+}
+
+TEST(EngineAdmission, PartialProbabilityCachesEventually) {
+  CachePrivacyEngine engine(0, cache::EvictionPolicy::kLru,
+                            std::make_unique<NoPrivacyPolicy>(), /*seed=*/2,
+                            /*cache_admission_probability=*/0.5);
+  const auto fetch = [](const ndn::Interest& interest) {
+    return std::pair{ndn::make_data(interest.name, "x", "p", "k"), util::millis(30)};
+  };
+  for (int i = 0; i < 64; ++i) {
+    ndn::Interest interest;
+    interest.name = ndn::Name("/obj").append_number(static_cast<std::uint64_t>(i));
+    (void)engine.handle(interest, i, fetch);
+  }
+  EXPECT_GT(engine.store().size(), 16u);
+  EXPECT_LT(engine.store().size(), 48u);
+}
+
+TEST(EngineAdmission, MissResponseStillPaddedWhenNotAdmitted) {
+  // Even content the router chooses not to cache must get the constant-
+  // gamma padding: a fast un-padded miss would leak the admission decision.
+  CachePrivacyEngine engine(
+      10, cache::EvictionPolicy::kLru,
+      std::make_unique<AlwaysDelayPolicy>(AlwaysDelayPolicy::constant(util::millis(100))),
+      /*seed=*/3, /*cache_admission_probability=*/0.0);
+  ndn::Interest interest;
+  interest.name = ndn::Name("/a");
+  interest.private_req = true;
+  const auto fetch = [](const ndn::Interest& i) {
+    return std::pair{ndn::make_data(i.name, "x", "p", "k"), util::millis(30)};
+  };
+  const RequestOutcome outcome = engine.handle(interest, 0, fetch);
+  EXPECT_EQ(outcome.response_delay, util::millis(100));
+}
+
+TEST(EngineAdmission, RejectsOutOfRangeProbability) {
+  EXPECT_THROW(CachePrivacyEngine(10, cache::EvictionPolicy::kLru,
+                                  std::make_unique<NoPrivacyPolicy>(), 1, -0.1),
+               std::invalid_argument);
+  EXPECT_THROW(CachePrivacyEngine(10, cache::EvictionPolicy::kLru,
+                                  std::make_unique<NoPrivacyPolicy>(), 1, 1.5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ndnp::core

@@ -1,0 +1,214 @@
+#include "sim/fetch_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "sim/forwarder.hpp"
+
+namespace ndnp::sim {
+namespace {
+
+LinkConfig fixed_link(double latency_ms, double loss = 0.0) {
+  LinkConfig cfg;
+  cfg.latency = util::millis_f(latency_ms);
+  cfg.loss_probability = loss;
+  return cfg;
+}
+
+struct Net {
+  Scheduler sched;
+  std::optional<Consumer> consumer;
+  std::optional<Forwarder> router;
+  std::optional<Producer> producer;
+
+  explicit Net(double loss = 0.0, bool routed = true) {
+    consumer.emplace(sched, "C", 1);
+    router.emplace(sched, "R", ForwarderConfig{.cs_capacity = 0});
+    producer.emplace(sched, "P", ndn::Name("/p"), "key", ProducerConfig{}, 2);
+    connect(*consumer, *router, fixed_link(0.5, loss));
+    const auto [rp, pr] = connect(*router, *producer, fixed_link(1.0, loss));
+    (void)pr;
+    if (routed) router->add_route(ndn::Name("/p"), rp);
+  }
+};
+
+TEST(ReliableFetch, SucceedsFirstTryOnCleanNetwork) {
+  Net net;
+  std::optional<ReliableFetchResult> result;
+  reliable_fetch(*net.consumer, ndn::Name("/p/x"),
+                 [&result](const ReliableFetchResult& r) { result = r; });
+  net.sched.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->succeeded);
+  EXPECT_EQ(result->attempts, 1u);
+  EXPECT_GT(result->rtt, 0);
+}
+
+TEST(ReliableFetch, RetriesThroughLoss) {
+  // 25 % loss per link traversal (~32 % end-to-end success per cold
+  // attempt, better once R caches): most fetches need retransmissions but
+  // nearly all succeed within 8 attempts.
+  Net net(/*loss=*/0.25);
+  int succeeded = 0;
+  int total_attempts = 0;
+  ReliableFetchOptions options;
+  options.timeout = util::millis(20);
+  options.max_attempts = 8;
+  for (int i = 0; i < 50; ++i) {
+    reliable_fetch(
+        *net.consumer, ndn::Name("/p/x").append_number(static_cast<std::uint64_t>(i)),
+        [&](const ReliableFetchResult& r) {
+          if (r.succeeded) ++succeeded;
+          total_attempts += static_cast<int>(r.attempts);
+        },
+        options);
+  }
+  net.sched.run();
+  EXPECT_GE(succeeded, 45);
+  EXPECT_GT(total_attempts, 60);  // retransmissions definitely happened
+}
+
+TEST(ReliableFetch, GivesUpAfterMaxAttempts) {
+  ProducerConfig silent;
+  silent.auto_generate = false;
+  Net net;
+  net.producer.emplace(net.sched, "P2", ndn::Name("/q"), "key", silent, 9);  // unrouted
+
+  std::optional<ReliableFetchResult> result;
+  ReliableFetchOptions options;
+  options.timeout = util::millis(10);
+  options.max_attempts = 3;
+  // /p routed but producer auto-generates; use unreachable /q instead:
+  reliable_fetch(*net.consumer, ndn::Name("/q/never"),
+                 [&result](const ReliableFetchResult& r) { result = r; }, options);
+  net.sched.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->succeeded);
+  EXPECT_EQ(result->attempts, 3u);
+}
+
+TEST(ReliableFetch, NackCountsAsAttemptAndRetries) {
+  Net net(0.0, /*routed=*/false);  // router has no route: NACKs come back
+  std::optional<ReliableFetchResult> result;
+  std::optional<util::SimTime> done_at;
+  ReliableFetchOptions options;
+  options.timeout = util::millis(50);
+  options.max_attempts = 2;
+  reliable_fetch(*net.consumer, ndn::Name("/p/x"),
+                 [&](const ReliableFetchResult& r) {
+                   result = r;
+                   done_at = net.sched.now();
+                 },
+                 options);
+  net.sched.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->succeeded);
+  EXPECT_EQ(result->attempts, 2u);
+  // NACKs resolved the attempts well before the 50 ms timeouts would have
+  // (the stale timeout events still drain afterwards, harmlessly).
+  ASSERT_TRUE(done_at.has_value());
+  EXPECT_LT(*done_at, util::millis(10));
+}
+
+TEST(ReliableFetch, ValidatesArguments) {
+  Net net;
+  EXPECT_THROW(reliable_fetch(*net.consumer, ndn::Name("/p/x"), nullptr),
+               std::invalid_argument);
+  ReliableFetchOptions options;
+  options.max_attempts = 0;
+  EXPECT_THROW(
+      reliable_fetch(*net.consumer, ndn::Name("/p/x"),
+                     [](const ReliableFetchResult&) {}, options),
+      std::invalid_argument);
+}
+
+TEST(SegmentFetch, FetchesAllSegmentsInOrderOfAvailability) {
+  Net net;
+  std::optional<SegmentFetchResult> result;
+  segment_fetch(*net.consumer, ndn::Name("/p/file"), 20,
+                [&result](const SegmentFetchResult& r) { result = r; });
+  net.sched.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->succeeded);
+  EXPECT_EQ(result->segments, 20u);
+  EXPECT_EQ(result->retransmissions, 0u);
+  EXPECT_GT(result->elapsed, 0);
+  EXPECT_EQ(net.producer->interests_served(), 20u);
+}
+
+TEST(SegmentFetch, WindowLimitsConcurrency) {
+  // With a window of 2, at most 2 interests are outstanding; 10 segments
+  // over a 3 ms RTT need at least 5 round trips.
+  Net net;
+  std::optional<SegmentFetchResult> slow;
+  SegmentFetchOptions narrow;
+  narrow.window = 2;
+  segment_fetch(*net.consumer, ndn::Name("/p/file"), 10,
+                [&slow](const SegmentFetchResult& r) { slow = r; }, narrow);
+  net.sched.run();
+
+  Net net2;
+  std::optional<SegmentFetchResult> fast;
+  SegmentFetchOptions wide;
+  wide.window = 10;
+  segment_fetch(*net2.consumer, ndn::Name("/p/file"), 10,
+                [&fast](const SegmentFetchResult& r) { fast = r; }, wide);
+  net2.sched.run();
+
+  ASSERT_TRUE(slow && fast);
+  EXPECT_GT(slow->elapsed, 3 * fast->elapsed);
+}
+
+TEST(SegmentFetch, ZeroSegmentsSucceedImmediately) {
+  Net net;
+  std::optional<SegmentFetchResult> result;
+  segment_fetch(*net.consumer, ndn::Name("/p/file"), 0,
+                [&result](const SegmentFetchResult& r) { result = r; });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->succeeded);
+  EXPECT_EQ(result->segments, 0u);
+}
+
+TEST(SegmentFetch, SurvivesLossWithRetransmissions) {
+  Net net(/*loss=*/0.25);
+  std::optional<SegmentFetchResult> result;
+  SegmentFetchOptions options;
+  options.per_segment.timeout = util::millis(20);
+  options.per_segment.max_attempts = 10;
+  segment_fetch(*net.consumer, ndn::Name("/p/file"), 30,
+                [&result](const SegmentFetchResult& r) { result = r; }, options);
+  net.sched.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->succeeded);
+  EXPECT_EQ(result->segments, 30u);
+  EXPECT_GT(result->retransmissions, 0u);
+}
+
+TEST(SegmentFetch, ReportsFailureWhenSegmentUnreachable) {
+  Net net(0.0, /*routed=*/false);
+  std::optional<SegmentFetchResult> result;
+  SegmentFetchOptions options;
+  options.per_segment.timeout = util::millis(10);
+  options.per_segment.max_attempts = 2;
+  segment_fetch(*net.consumer, ndn::Name("/p/file"), 5,
+                [&result](const SegmentFetchResult& r) { result = r; }, options);
+  net.sched.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->succeeded);
+}
+
+TEST(SegmentFetch, ValidatesArguments) {
+  Net net;
+  EXPECT_THROW(segment_fetch(*net.consumer, ndn::Name("/p/f"), 3, nullptr),
+               std::invalid_argument);
+  SegmentFetchOptions options;
+  options.window = 0;
+  EXPECT_THROW(
+      segment_fetch(*net.consumer, ndn::Name("/p/f"), 3, [](const SegmentFetchResult&) {},
+                    options),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ndnp::sim

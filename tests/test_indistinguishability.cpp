@@ -1,0 +1,220 @@
+#include "core/indistinguishability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/theory.hpp"
+
+namespace ndnp::core {
+namespace {
+
+TEST(OutputDistribution, SumsToOne) {
+  const UniformK dist(10);
+  for (const std::int64_t x : {0LL, 1LL, 3LL}) {
+    const DiscreteDist d = exact_output_distribution(dist, x, 20);
+    EXPECT_NEAR(std::accumulate(d.begin(), d.end(), 0.0), 1.0, 1e-9) << "x=" << x;
+  }
+}
+
+TEST(OutputDistribution, NeverRequestedAlwaysStartsWithMiss) {
+  // Under S0 the first probe is a compulsory miss: Pr[m = 0] = 0.
+  const UniformK dist(10);
+  const DiscreteDist d0 = exact_output_distribution(dist, 0, 15);
+  EXPECT_DOUBLE_EQ(d0[0], 0.0);
+}
+
+TEST(OutputDistribution, RequestedStateCanShowImmediateHit) {
+  // Under S_x with threshold k < x the very first probe is a hit.
+  const UniformK dist(10);
+  const DiscreteDist dx = exact_output_distribution(dist, 3, 15);
+  EXPECT_NEAR(dx[0], 3.0 / 10.0, 1e-12);  // k in {0,1,2}
+}
+
+TEST(OutputDistribution, ShiftStructureMatchesProof) {
+  // Theorem VI.1's partition: D_x is D_0 shifted by x on the overlap.
+  const std::int64_t K = 12;
+  const std::int64_t x = 4;
+  const std::int64_t t = 20;  // t > K so no truncation merging
+  const UniformK dist(K);
+  const DiscreteDist d0 = exact_output_distribution(dist, 0, t);
+  const DiscreteDist dx = exact_output_distribution(dist, x, t);
+  for (std::int64_t m = 1; m + x <= K; ++m) {
+    EXPECT_NEAR(dx[static_cast<std::size_t>(m)], d0[static_cast<std::size_t>(m + x)], 1e-12)
+        << "m=" << m;
+  }
+}
+
+TEST(OutputDistribution, EmpiricalMatchesExact) {
+  const TruncatedGeometricK dist(0.85, 15);
+  for (const std::int64_t x : {0LL, 2LL, 5LL}) {
+    const DiscreteDist exact = exact_output_distribution(dist, x, 25);
+    const DiscreteDist empirical = empirical_output_distribution(dist, x, 25, 200'000, 9);
+    EXPECT_LT(total_variation(exact, empirical), 0.01) << "x=" << x;
+  }
+}
+
+TEST(OutputDistribution, TruncationAtT) {
+  // With t <= smallest possible miss run, everything collapses to m = t.
+  const DegenerateK dist(10);
+  const DiscreteDist d0 = exact_output_distribution(dist, 0, 5);
+  EXPECT_DOUBLE_EQ(d0[5], 1.0);
+}
+
+TEST(OutputDistribution, RejectsBadArguments) {
+  const UniformK dist(4);
+  EXPECT_THROW((void)exact_output_distribution(dist, -1, 5), std::invalid_argument);
+  EXPECT_THROW((void)exact_output_distribution(dist, 0, 0), std::invalid_argument);
+  EXPECT_THROW((void)empirical_output_distribution(dist, 0, 5, 0, 1), std::invalid_argument);
+}
+
+TEST(TotalVariationDist, BasicProperties) {
+  const DiscreteDist a{0.5, 0.5, 0.0};
+  const DiscreteDist b{0.0, 0.5, 0.5};
+  EXPECT_NEAR(total_variation(a, b), 0.5, 1e-12);
+  EXPECT_NEAR(total_variation(a, a), 0.0, 1e-12);
+  EXPECT_NEAR(total_variation(a, b), total_variation(b, a), 1e-12);
+}
+
+TEST(TotalVariationDist, PadsDifferentLengths) {
+  const DiscreteDist a{1.0};
+  const DiscreteDist b{0.0, 1.0};
+  EXPECT_NEAR(total_variation(a, b), 1.0, 1e-12);
+}
+
+TEST(DeltaForEpsilon, UniformMatchesTheoremVI1) {
+  // Theorem VI.1: Uniform-Random-Cache with domain K gives delta = 2x/K at
+  // epsilon = 0, achieved exactly when t is large enough to expose the
+  // one-sided outcomes.
+  const std::int64_t K = 20;
+  const UniformK dist(K);
+  for (const std::int64_t x : {1LL, 3LL, 5LL}) {
+    const DiscreteDist d0 = exact_output_distribution(dist, 0, K + 5);
+    const DiscreteDist dx = exact_output_distribution(dist, x, K + 5);
+    EXPECT_NEAR(delta_for_epsilon(d0, dx, 0.0), 2.0 * static_cast<double>(x) / K, 1e-9)
+        << "x=" << x;
+  }
+}
+
+TEST(TotalVariationBound, UniformHoldsForAllProbeCounts) {
+  // Data-processing: truncating the view at t probes can only merge
+  // outcomes, so TV(t) <= TV(infinity) = x/K for every t. (The exact
+  // delta(eps=0) = 2x/K identity, by contrast, needs t >= K: truncation
+  // merges outputs with *unequal* masses, which eps = 0 banishes to
+  // Omega_2 — see UniformMatchesTheoremVI1.)
+  const std::int64_t K = 20;
+  const std::int64_t x = 3;
+  const UniformK dist(K);
+  double prev = 0.0;
+  for (std::int64_t t = 1; t <= K + 10; ++t) {
+    const DiscreteDist d0 = exact_output_distribution(dist, 0, t);
+    const DiscreteDist dx = exact_output_distribution(dist, x, t);
+    const double tv = total_variation(d0, dx);
+    EXPECT_LE(tv, static_cast<double>(x) / K + 1e-9) << "t=" << t;
+    EXPECT_GE(tv, prev - 1e-9) << "more probes can only reveal more, t=" << t;
+    prev = tv;
+  }
+  EXPECT_NEAR(prev, static_cast<double>(x) / K, 1e-9);  // saturates at x/K
+}
+
+TEST(DeltaForEpsilon, ExpoMatchesTheoremVI3) {
+  // Theorem VI.3: at epsilon = -x ln(alpha), delta <=
+  // (1 - a^x + a^{K-x} - a^K) / (1 - a^K).
+  const double alpha = 0.9;
+  const std::int64_t K = 15;
+  const TruncatedGeometricK dist(alpha, K);
+  for (const std::int64_t x : {1LL, 2LL, 4LL}) {
+    const DiscreteDist d0 = exact_output_distribution(dist, 0, K + 5);
+    const DiscreteDist dx = exact_output_distribution(dist, x, K + 5);
+    const double eps = -static_cast<double>(x) * std::log(alpha);
+    const double bound = expo_privacy(x, alpha, K).delta;
+    const double measured = delta_for_epsilon(d0, dx, eps + 1e-9);
+    EXPECT_LE(measured, bound + 1e-9) << "x=" << x;
+    EXPECT_NEAR(measured, bound, 1e-9) << "x=" << x;  // tight for t > K
+  }
+}
+
+TEST(DeltaForEpsilon, MonotoneDecreasingInEpsilon) {
+  const TruncatedGeometricK dist(0.8, 12);
+  const DiscreteDist d0 = exact_output_distribution(dist, 0, 20);
+  const DiscreteDist dx = exact_output_distribution(dist, 2, 20);
+  double prev = 2.0;
+  for (const double eps : {0.0, 0.1, 0.3, 0.5, 1.0}) {
+    const double delta = delta_for_epsilon(d0, dx, eps);
+    EXPECT_LE(delta, prev + 1e-12);
+    prev = delta;
+  }
+}
+
+TEST(DeltaForEpsilon, IdenticalDistributionsNeedNoBudget) {
+  const DiscreteDist d{0.25, 0.75};
+  EXPECT_DOUBLE_EQ(delta_for_epsilon(d, d, 0.0), 0.0);
+}
+
+TEST(MinEpsilonForDelta, RecoversLogRatio) {
+  const DiscreteDist a{0.8, 0.2};
+  const DiscreteDist b{0.2, 0.8};
+  // With zero budget every outcome must be ratio-bounded: eps = ln 4.
+  EXPECT_NEAR(min_epsilon_for_delta(a, b, 0.0), std::log(4.0), 1e-12);
+  // Budget >= total mass of both outcomes -> everything can go to Omega_2.
+  EXPECT_DOUBLE_EQ(min_epsilon_for_delta(a, b, 2.0), 0.0);
+}
+
+TEST(MinEpsilonForDelta, InfiniteWhenOneSidedMassExceedsBudget) {
+  const DiscreteDist a{1.0, 0.0};
+  const DiscreteDist b{0.0, 1.0};
+  EXPECT_TRUE(std::isinf(min_epsilon_for_delta(a, b, 0.5)));
+  EXPECT_DOUBLE_EQ(min_epsilon_for_delta(a, b, 2.0), 0.0);
+}
+
+TEST(MinEpsilonForDelta, ConsistentWithDeltaForEpsilon) {
+  const TruncatedGeometricK dist(0.85, 10);
+  const DiscreteDist d0 = exact_output_distribution(dist, 0, 15);
+  const DiscreteDist dx = exact_output_distribution(dist, 2, 15);
+  for (const double delta : {0.2, 0.4, 0.6}) {
+    const double eps = min_epsilon_for_delta(d0, dx, delta);
+    if (!std::isinf(eps)) {
+      EXPECT_LE(delta_for_epsilon(d0, dx, eps + 1e-9), delta + 1e-9);
+    }
+  }
+}
+
+// Property sweep over distributions and states: exact distributions honor
+// the theorem bounds everywhere.
+struct GameParams {
+  double alpha;  // 0 = uniform
+  std::int64_t domain;
+  std::int64_t x;
+};
+
+class PrivacyGameSweep : public ::testing::TestWithParam<GameParams> {};
+
+TEST_P(PrivacyGameSweep, TheoremBudgetsHold) {
+  const auto [alpha, domain, x] = GetParam();
+  std::unique_ptr<KDistribution> dist;
+  PrivacyBudget bound;
+  if (alpha == 0.0) {
+    dist = std::make_unique<UniformK>(domain);
+    bound = uniform_privacy(x, domain);
+  } else {
+    dist = std::make_unique<TruncatedGeometricK>(alpha, domain);
+    bound = expo_privacy(x, alpha, domain);
+  }
+  const DiscreteDist d0 = exact_output_distribution(*dist, 0, domain + 8);
+  const DiscreteDist dx = exact_output_distribution(*dist, x, domain + 8);
+  EXPECT_LE(delta_for_epsilon(d0, dx, bound.epsilon + 1e-9), bound.delta + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PrivacyGameSweep,
+    ::testing::Values(GameParams{0.0, 10, 1}, GameParams{0.0, 50, 5}, GameParams{0.0, 200, 5},
+                      GameParams{0.9, 20, 1}, GameParams{0.9, 20, 5}, GameParams{0.99, 100, 5},
+                      GameParams{0.5, 8, 2}),
+    [](const auto& info) {
+      return "a" + std::to_string(static_cast<int>(info.param.alpha * 100)) + "_K" +
+             std::to_string(info.param.domain) + "_x" + std::to_string(info.param.x);
+    });
+
+}  // namespace
+}  // namespace ndnp::core

@@ -1,0 +1,120 @@
+#include "core/k_distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace ndnp::core {
+namespace {
+
+void expect_pmf_sums_to_one(const KDistribution& dist) {
+  double acc = 0.0;
+  for (std::int64_t k = 0; k < dist.domain_size(); ++k) acc += dist.pmf(k);
+  EXPECT_NEAR(acc, 1.0, 1e-9) << dist.name();
+}
+
+void expect_samples_match_pmf(const KDistribution& dist, std::uint64_t seed) {
+  util::Rng rng(seed);
+  constexpr int kDraws = 100'000;
+  std::vector<int> counts(static_cast<std::size_t>(dist.domain_size()), 0);
+  for (int i = 0; i < kDraws; ++i) {
+    const std::int64_t k = dist.sample(rng);
+    ASSERT_GE(k, 0);
+    ASSERT_LT(k, dist.domain_size());
+    ++counts[static_cast<std::size_t>(k)];
+  }
+  for (std::int64_t k = 0; k < std::min<std::int64_t>(dist.domain_size(), 10); ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[static_cast<std::size_t>(k)]) / kDraws,
+                dist.pmf(k), 0.01)
+        << dist.name() << " k=" << k;
+  }
+}
+
+TEST(UniformK, PmfIsFlat) {
+  const UniformK dist(8);
+  expect_pmf_sums_to_one(dist);
+  for (std::int64_t k = 0; k < 8; ++k) EXPECT_DOUBLE_EQ(dist.pmf(k), 0.125);
+  EXPECT_EQ(dist.pmf(-1), 0.0);
+  EXPECT_EQ(dist.pmf(8), 0.0);
+}
+
+TEST(UniformK, SamplesMatchPmf) { expect_samples_match_pmf(UniformK(10), 1); }
+
+TEST(UniformK, MeanAndTail) {
+  const UniformK dist(10);
+  EXPECT_NEAR(dist.mean(), 4.5, 1e-12);
+  EXPECT_NEAR(dist.tail(5), 0.5, 1e-12);
+  EXPECT_NEAR(dist.tail(0), 1.0, 1e-12);
+  EXPECT_NEAR(dist.tail(10), 0.0, 1e-12);
+  EXPECT_NEAR(dist.tail(-3), 1.0, 1e-12);
+}
+
+TEST(UniformK, RejectsBadDomain) {
+  EXPECT_THROW(UniformK(0), std::invalid_argument);
+  EXPECT_THROW(UniformK(-5), std::invalid_argument);
+}
+
+TEST(TruncatedGeometricK, PmfMatchesFormula) {
+  const double alpha = 0.7;
+  const std::int64_t domain = 12;
+  const TruncatedGeometricK dist(alpha, domain);
+  expect_pmf_sums_to_one(dist);
+  const double norm = 1.0 - std::pow(alpha, static_cast<double>(domain));
+  for (std::int64_t k = 0; k < domain; ++k) {
+    EXPECT_NEAR(dist.pmf(k), (1.0 - alpha) * std::pow(alpha, static_cast<double>(k)) / norm,
+                1e-12);
+  }
+}
+
+TEST(TruncatedGeometricK, PmfDecreasesExponentially) {
+  const TruncatedGeometricK dist(0.5, 10);
+  for (std::int64_t k = 0; k + 1 < 10; ++k)
+    EXPECT_NEAR(dist.pmf(k + 1) / dist.pmf(k), 0.5, 1e-12);
+}
+
+TEST(TruncatedGeometricK, SamplesMatchPmf) {
+  expect_samples_match_pmf(TruncatedGeometricK(0.8, 15), 2);
+  expect_samples_match_pmf(TruncatedGeometricK(0.99, 6), 3);
+}
+
+TEST(TruncatedGeometricK, AlphaNearOneApproachesUniform) {
+  const TruncatedGeometricK dist(0.9999, 10);
+  for (std::int64_t k = 0; k < 10; ++k) EXPECT_NEAR(dist.pmf(k), 0.1, 1e-3);
+}
+
+TEST(TruncatedGeometricK, RejectsBadParameters) {
+  EXPECT_THROW(TruncatedGeometricK(0.0, 10), std::invalid_argument);
+  EXPECT_THROW(TruncatedGeometricK(1.0, 10), std::invalid_argument);
+  EXPECT_THROW(TruncatedGeometricK(-0.3, 10), std::invalid_argument);
+  EXPECT_THROW(TruncatedGeometricK(0.5, 0), std::invalid_argument);
+}
+
+TEST(DegenerateK, AlwaysSamplesK0) {
+  const DegenerateK dist(4);
+  util::Rng rng(4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(dist.sample(rng), 4);
+  EXPECT_DOUBLE_EQ(dist.pmf(4), 1.0);
+  EXPECT_DOUBLE_EQ(dist.pmf(3), 0.0);
+  EXPECT_EQ(dist.domain_size(), 5);
+  EXPECT_DOUBLE_EQ(dist.mean(), 4.0);
+}
+
+TEST(DegenerateK, RejectsNegative) { EXPECT_THROW(DegenerateK(-1), std::invalid_argument); }
+
+TEST(KDistribution, CloneIsIndependentAndEquivalent) {
+  const TruncatedGeometricK original(0.6, 9);
+  const auto copy = original.clone();
+  for (std::int64_t k = 0; k < 9; ++k) EXPECT_DOUBLE_EQ(copy->pmf(k), original.pmf(k));
+  EXPECT_EQ(copy->domain_size(), original.domain_size());
+  EXPECT_EQ(copy->name(), original.name());
+}
+
+TEST(KDistribution, NamesIdentifyParameters) {
+  EXPECT_NE(UniformK(5).name().find("5"), std::string::npos);
+  EXPECT_NE(TruncatedGeometricK(0.5, 7).name().find("7"), std::string::npos);
+  EXPECT_NE(DegenerateK(3).name().find("3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ndnp::core

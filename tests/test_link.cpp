@@ -1,0 +1,101 @@
+#include "sim/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace ndnp::sim {
+namespace {
+
+TEST(Link, NoJitterIsExactLatency) {
+  LinkConfig cfg;
+  cfg.latency = util::millis(3);
+  util::Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(cfg.sample_delay(rng, 100), util::millis(3));
+}
+
+TEST(Link, BandwidthAddsTransmissionDelay) {
+  LinkConfig cfg;
+  cfg.latency = util::millis(1);
+  cfg.bandwidth_bps = 8e6;  // 1 MB/s
+  util::Rng rng(2);
+  // 1000 bytes at 8 Mbit/s = 1 ms transmission.
+  EXPECT_EQ(cfg.sample_delay(rng, 1000), util::millis(2));
+  // Larger packets take proportionally longer.
+  EXPECT_EQ(cfg.sample_delay(rng, 2000), util::millis(3));
+}
+
+TEST(Link, UniformJitterStaysInRange) {
+  LinkConfig cfg;
+  cfg.latency = util::millis(1);
+  cfg.jitter = JitterKind::kUniform;
+  cfg.jitter_a = 0.0;
+  cfg.jitter_b = static_cast<double>(util::millis(2));
+  util::Rng rng(3);
+  for (int i = 0; i < 10'000; ++i) {
+    const util::SimDuration d = cfg.sample_delay(rng, 100);
+    EXPECT_GE(d, util::millis(1));
+    EXPECT_LE(d, util::millis(3));
+  }
+}
+
+TEST(Link, TruncNormalJitterNeverNegative) {
+  LinkConfig cfg;
+  cfg.latency = 0;
+  cfg.jitter = JitterKind::kTruncNormal;
+  cfg.jitter_a = static_cast<double>(util::micros(100));
+  cfg.jitter_b = static_cast<double>(util::micros(500));  // large sigma -> would go negative
+  util::Rng rng(4);
+  for (int i = 0; i < 10'000; ++i) EXPECT_GE(cfg.sample_delay(rng, 100), 0);
+}
+
+TEST(Link, LognormalJitterMedianNearConfigured) {
+  LinkConfig cfg;
+  cfg.latency = 0;
+  cfg.jitter = JitterKind::kLognormal;
+  cfg.jitter_a = static_cast<double>(util::millis(2));
+  cfg.jitter_b = 0.5;
+  util::Rng rng(5);
+  util::SampleSet samples;
+  for (int i = 0; i < 20'000; ++i)
+    samples.add(util::to_millis(cfg.sample_delay(rng, 100)));
+  EXPECT_NEAR(samples.quantile(0.5), 2.0, 0.1);
+  // Heavy upper tail: p99 well above the median.
+  EXPECT_GT(samples.quantile(0.99), 4.0);
+}
+
+TEST(Link, LossProbabilitySampled) {
+  LinkConfig cfg;
+  cfg.loss_probability = 0.25;
+  util::Rng rng(6);
+  int lost = 0;
+  constexpr int kDraws = 40'000;
+  for (int i = 0; i < kDraws; ++i)
+    if (cfg.sample_loss(rng)) ++lost;
+  EXPECT_NEAR(static_cast<double>(lost) / kDraws, 0.25, 0.01);
+}
+
+TEST(Link, ZeroLossNeverDrops) {
+  const LinkConfig cfg;
+  util::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(cfg.sample_loss(rng));
+}
+
+TEST(Link, CannedConfigsHaveExpectedShapes) {
+  util::Rng rng(8);
+  const LinkConfig lan = lan_link();
+  const LinkConfig wan = wan_link();
+  const LinkConfig ipc = local_ipc_link();
+  // Rough ordering: IPC < LAN < WAN latency.
+  EXPECT_LT(ipc.latency, lan.latency + 1);
+  EXPECT_LT(lan.latency, wan.latency);
+  EXPECT_EQ(lan.jitter, JitterKind::kUniform);
+  EXPECT_EQ(wan.jitter, JitterKind::kLognormal);
+  // WAN delays vary across samples; LAN stays within its tight band.
+  util::SampleSet wan_samples;
+  for (int i = 0; i < 1000; ++i) wan_samples.add(util::to_millis(wan.sample_delay(rng, 100)));
+  EXPECT_GT(wan_samples.stddev(), 0.05);
+}
+
+}  // namespace
+}  // namespace ndnp::sim

@@ -1,0 +1,122 @@
+#include "trace/network_replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/policies.hpp"
+
+namespace ndnp::trace {
+namespace {
+
+Trace small_trace() {
+  TraceGenConfig config;
+  config.num_users = 24;
+  config.num_objects = 2'000;
+  config.num_requests = 8'000;
+  config.num_domains = 40;
+  config.duration_s = 3'600.0;
+  config.seed = 17;
+  return generate_trace(config);
+}
+
+NetworkReplayConfig base_config() {
+  NetworkReplayConfig config;
+  config.edge_routers = 3;
+  config.edge_cache = 200;
+  config.core_cache = 800;
+  config.private_fraction = 0.2;
+  config.time_compression = 2'000.0;
+  config.seed = 5;
+  return config;
+}
+
+TEST(NetworkReplay, AllRequestsComplete) {
+  const Trace tr = small_trace();
+  const NetworkReplayResult result = replay_over_network(tr, base_config());
+  EXPECT_EQ(result.requests, tr.size());
+  EXPECT_EQ(result.completed, tr.size());
+  EXPECT_EQ(result.rtt_ms.size(), tr.size());
+}
+
+TEST(NetworkReplay, TierAccountingIsConsistent) {
+  const Trace tr = small_trace();
+  const NetworkReplayResult result = replay_over_network(tr, base_config());
+  // Every request is served exactly once: edge hit, core hit, or origin.
+  // (Interest collapsing can make the sum fall slightly short of the total
+  // when concurrent requests share one upstream fetch.)
+  EXPECT_LE(result.edge_hits + result.core_hits + result.producer_fetches, tr.size());
+  EXPECT_GE(result.edge_hits + result.core_hits + result.producer_fetches,
+            tr.size() * 95 / 100);
+  EXPECT_GT(result.edge_hits, 0u);
+  EXPECT_GT(result.core_hits, 0u);
+  EXPECT_GT(result.producer_fetches, 0u);
+}
+
+TEST(NetworkReplay, EdgeHitsAreFastest) {
+  // Sanity on the latency distribution: some requests complete at access-
+  // link speed (edge hits), the slowest pay the full path to the origin.
+  const Trace tr = small_trace();
+  const NetworkReplayResult result = replay_over_network(tr, base_config());
+  EXPECT_LT(result.rtt_ms.quantile(0.05), 2.0);   // edge hit: ~0.6 ms
+  EXPECT_GT(result.rtt_ms.quantile(0.95), 10.0);  // origin fetch: ~20 ms+
+}
+
+TEST(NetworkReplay, EdgeOnlyPolicyLowersEdgeHitsOnly) {
+  const Trace tr = small_trace();
+  NetworkReplayConfig config = base_config();
+  const NetworkReplayResult baseline = replay_over_network(tr, config);
+
+  config.deployment = Deployment::kEdgeOnly;
+  config.policy_factory = [] {
+    return std::make_unique<core::AlwaysDelayPolicy>(
+        core::AlwaysDelayPolicy::content_specific());
+  };
+  const NetworkReplayResult protected_edge = replay_over_network(tr, config);
+  EXPECT_LT(protected_edge.edge_hits, baseline.edge_hits);
+  // Hidden edge hits are still served from the edge cache (delayed), so
+  // the core does NOT see extra traffic.
+  EXPECT_LE(protected_edge.core_hits, baseline.core_hits + baseline.core_hits / 10);
+}
+
+TEST(NetworkReplay, EverywhereDeploymentAlsoHidesCoreHits) {
+  const Trace tr = small_trace();
+  NetworkReplayConfig config = base_config();
+  config.policy_factory = [] {
+    return std::make_unique<core::AlwaysDelayPolicy>(
+        core::AlwaysDelayPolicy::content_specific());
+  };
+  config.deployment = Deployment::kEdgeOnly;
+  const NetworkReplayResult edge_only = replay_over_network(tr, config);
+  config.deployment = Deployment::kEverywhere;
+  const NetworkReplayResult everywhere = replay_over_network(tr, config);
+  EXPECT_LT(everywhere.core_hits, edge_only.core_hits);
+  // Delay stacking: protecting the core adds latency on top.
+  EXPECT_GE(everywhere.rtt_ms.quantile(0.5), edge_only.rtt_ms.quantile(0.5));
+}
+
+TEST(NetworkReplay, DeterministicAcrossRuns) {
+  const Trace tr = small_trace();
+  const NetworkReplayResult a = replay_over_network(tr, base_config());
+  const NetworkReplayResult b = replay_over_network(tr, base_config());
+  EXPECT_EQ(a.edge_hits, b.edge_hits);
+  EXPECT_EQ(a.core_hits, b.core_hits);
+  EXPECT_DOUBLE_EQ(a.rtt_ms.mean(), b.rtt_ms.mean());
+}
+
+TEST(NetworkReplay, ValidatesConfig) {
+  const Trace tr = small_trace();
+  NetworkReplayConfig config = base_config();
+  config.edge_routers = 0;
+  EXPECT_THROW((void)replay_over_network(tr, config), std::invalid_argument);
+  config.edge_routers = 2;
+  config.time_compression = 0.0;
+  EXPECT_THROW((void)replay_over_network(tr, config), std::invalid_argument);
+}
+
+TEST(NetworkReplay, DeploymentNames) {
+  EXPECT_EQ(to_string(Deployment::kNone), "none");
+  EXPECT_EQ(to_string(Deployment::kEdgeOnly), "edge-only");
+  EXPECT_EQ(to_string(Deployment::kEverywhere), "everywhere");
+}
+
+}  // namespace
+}  // namespace ndnp::trace

@@ -1,0 +1,97 @@
+#include "ndn/packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/hmac.hpp"
+
+namespace ndnp::ndn {
+namespace {
+
+Interest interest_for(const char* uri) {
+  Interest interest;
+  interest.name = Name(uri);
+  return interest;
+}
+
+TEST(NameMarkedPrivate, LastComponentMarker) {
+  EXPECT_TRUE(name_marked_private(Name("/alice/mail/private")));
+  EXPECT_FALSE(name_marked_private(Name("/alice/private/mail")));
+  EXPECT_FALSE(name_marked_private(Name("/alice/mail")));
+  EXPECT_FALSE(name_marked_private(Name()));
+}
+
+TEST(Data, SatisfiesPrefixInterest) {
+  Data data;
+  data.name = Name("/cnn/news/2013may20");
+  EXPECT_TRUE(data.satisfies(interest_for("/cnn/news/2013may20")));
+  EXPECT_TRUE(data.satisfies(interest_for("/cnn/news")));
+  EXPECT_TRUE(data.satisfies(interest_for("/")));
+  EXPECT_FALSE(data.satisfies(interest_for("/cnn/sports")));
+  EXPECT_FALSE(data.satisfies(interest_for("/cnn/news/2013may20/extra")));
+}
+
+TEST(Data, ExactMatchOnlyRequiresFullName) {
+  // Footnote 5: content with a rand component must not answer interests
+  // for its prefix.
+  Data data;
+  data.name = Name("/alice/skype/0/rand123");
+  data.exact_match_only = true;
+  EXPECT_TRUE(data.satisfies(interest_for("/alice/skype/0/rand123")));
+  EXPECT_FALSE(data.satisfies(interest_for("/alice/skype/0")));
+  EXPECT_FALSE(data.satisfies(interest_for("/alice/skype")));
+}
+
+TEST(Data, ProducerMarkedPrivateByBitOrName) {
+  Data by_bit;
+  by_bit.name = Name("/a/b");
+  by_bit.producer_private = true;
+  EXPECT_TRUE(by_bit.producer_marked_private());
+
+  Data by_name;
+  by_name.name = Name("/a/b/private");
+  EXPECT_TRUE(by_name.producer_marked_private());
+
+  Data neither;
+  neither.name = Name("/a/b");
+  EXPECT_FALSE(neither.producer_marked_private());
+}
+
+TEST(Interest, WireSizeGrowsWithName) {
+  Interest small = interest_for("/a");
+  Interest large = interest_for("/a/very/long/name/with/many/components");
+  EXPECT_GT(large.wire_size(), small.wire_size());
+}
+
+TEST(Interest, WireSizeIncludesScope) {
+  Interest plain = interest_for("/a");
+  Interest scoped = interest_for("/a");
+  scoped.scope = 2;
+  EXPECT_GT(scoped.wire_size(), plain.wire_size());
+}
+
+TEST(Data, WireSizeIncludesPayload) {
+  Data small;
+  small.name = Name("/a");
+  Data large = small;
+  large.payload = std::string(4096, 'x');
+  EXPECT_GE(large.wire_size(), small.wire_size() + 4096);
+}
+
+TEST(MakeData, ProducesVerifiableSignature) {
+  const Data data = make_data(Name("/alice/photo/1"), "bytes", "alice", "alice-key");
+  EXPECT_EQ(data.name.to_uri(), "/alice/photo/1");
+  EXPECT_EQ(data.payload, "bytes");
+  EXPECT_EQ(data.producer, "alice");
+  EXPECT_FALSE(data.producer_private);
+  EXPECT_TRUE(crypto::verify_content("alice-key", "/alice/photo/1", "bytes", data.signature));
+  EXPECT_FALSE(crypto::verify_content("mallory-key", "/alice/photo/1", "bytes", data.signature));
+}
+
+TEST(MakeData, PrivateFlagCarried) {
+  const Data data = make_data(Name("/a"), "p", "prod", "k", /*producer_private=*/true);
+  EXPECT_TRUE(data.producer_private);
+  EXPECT_TRUE(data.producer_marked_private());
+}
+
+}  // namespace
+}  // namespace ndnp::ndn

@@ -1,0 +1,99 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ndnp::sim {
+namespace {
+
+TEST(Scheduler, StartsAtTimeZero) {
+  const Scheduler sched;
+  EXPECT_EQ(sched.now(), 0);
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(30, [&] { order.push_back(3); });
+  sched.schedule_at(10, [&] { order.push_back(1); });
+  sched.schedule_at(20, [&] { order.push_back(2); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), 30);
+  EXPECT_EQ(sched.processed(), 3u);
+}
+
+TEST(Scheduler, EqualTimesRunInFifoOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) sched.schedule_at(5, [&order, i] { order.push_back(i); });
+  sched.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, ScheduleInIsRelative) {
+  Scheduler sched;
+  util::SimTime seen = -1;
+  sched.schedule_at(100, [&] {
+    sched.schedule_in(50, [&] { seen = sched.now(); });
+  });
+  sched.run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(Scheduler, EventsMayScheduleMoreEvents) {
+  Scheduler sched;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) sched.schedule_in(10, chain);
+  };
+  sched.schedule_at(0, chain);
+  sched.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sched.now(), 40);
+}
+
+TEST(Scheduler, RunOneReturnsFalseWhenEmpty) {
+  Scheduler sched;
+  EXPECT_FALSE(sched.run_one());
+  sched.schedule_at(1, [] {});
+  EXPECT_TRUE(sched.run_one());
+  EXPECT_FALSE(sched.run_one());
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Scheduler sched;
+  int ran = 0;
+  sched.schedule_at(10, [&] { ++ran; });
+  sched.schedule_at(20, [&] { ++ran; });
+  sched.schedule_at(30, [&] { ++ran; });
+  sched.run_until(20);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(sched.now(), 20);
+  EXPECT_EQ(sched.pending(), 1u);
+  sched.run_until(100);
+  EXPECT_EQ(ran, 3);
+  EXPECT_EQ(sched.now(), 100);  // clock advances past the last event
+}
+
+TEST(Scheduler, RejectsPastAndInvalidEvents) {
+  Scheduler sched;
+  sched.schedule_at(50, [] {});
+  (void)sched.run_one();
+  EXPECT_THROW(sched.schedule_at(10, [] {}), std::logic_error);
+  EXPECT_THROW(sched.schedule_in(-1, [] {}), std::logic_error);
+  EXPECT_THROW(sched.schedule_at(100, Scheduler::Event{}), std::invalid_argument);
+}
+
+TEST(Scheduler, SchedulingAtNowIsAllowed) {
+  Scheduler sched;
+  bool ran = false;
+  sched.schedule_at(10, [&] { sched.schedule_at(10, [&] { ran = true; }); });
+  sched.run();
+  EXPECT_TRUE(ran);
+}
+
+}  // namespace
+}  // namespace ndnp::sim

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "util/logging.hpp"
+#include "util/sim_time.hpp"
+
+namespace ndnp::util {
+namespace {
+
+TEST(SimTime, UnitConstructors) {
+  EXPECT_EQ(nanos(5), 5);
+  EXPECT_EQ(micros(3), 3'000);
+  EXPECT_EQ(millis(2), 2'000'000);
+  EXPECT_EQ(seconds(1), 1'000'000'000);
+}
+
+TEST(SimTime, FractionalMillis) {
+  EXPECT_EQ(millis_f(0.05), 50'000);
+  EXPECT_EQ(millis_f(1.5), 1'500'000);
+  EXPECT_EQ(millis_f(0.0), 0);
+}
+
+TEST(SimTime, Conversions) {
+  EXPECT_DOUBLE_EQ(to_millis(millis(7)), 7.0);
+  EXPECT_DOUBLE_EQ(to_micros(micros(9)), 9.0);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(2)), 2.0);
+  EXPECT_DOUBLE_EQ(to_millis(micros(500)), 0.5);
+}
+
+TEST(SimTime, RoundTripIsExactForWholeUnits) {
+  for (const std::int64_t ms : {0LL, 1LL, 42LL, 86'400'000LL}) {
+    EXPECT_EQ(static_cast<std::int64_t>(to_millis(millis(ms))), ms);
+  }
+}
+
+TEST(SimTime, Sentinels) {
+  EXPECT_EQ(kTimeZero, 0);
+  EXPECT_LT(kTimeUnset, kTimeZero);
+}
+
+TEST(Logging, LevelIsProcessGlobalAndRestorable) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kTrace);
+  EXPECT_EQ(log_level(), LogLevel::kTrace);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(original);
+}
+
+TEST(Logging, SuppressedLevelsDoNotCrash) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  // These go nowhere; the test is that formatting with args is safe.
+  log(LogLevel::kDebug, "dropped %d %s", 42, "message");
+  log(LogLevel::kTrace, "also dropped");
+  set_log_level(original);
+}
+
+TEST(Logging, EnabledLevelFormats) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kTrace);
+  // Emitted to stderr; just exercise every level's name path.
+  log(LogLevel::kError, "e");
+  log(LogLevel::kWarn, "w");
+  log(LogLevel::kInfo, "i %d", 1);
+  log(LogLevel::kDebug, "d");
+  log(LogLevel::kTrace, "t");
+  set_log_level(original);
+}
+
+}  // namespace
+}  // namespace ndnp::util

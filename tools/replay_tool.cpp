@@ -1,0 +1,155 @@
+// replay_tool: replay a trace file (trace_gen format; real proxy logs can
+// be converted to it) through a router cache under a chosen privacy scheme
+// and report hit rates and latency.
+//
+//   replay_tool --trace FILE [--policy none|always-delay|uniform|expo|naive]
+//               [--cache N] [--eviction lru|fifo|lfu|random]
+//               [--private-fraction F] [--k N] [--epsilon E] [--delta D]
+//               [--admission P] [--seed N]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/policies.hpp"
+#include "core/theory.hpp"
+#include "trace/replayer.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --trace FILE [--policy none|always-delay|uniform|expo|naive]\n"
+      "          [--cache N] [--eviction lru|fifo|lfu|random] [--private-fraction F]\n"
+      "          [--k N] [--epsilon E] [--delta D] [--admission P] [--seed N]\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ndnp;
+
+  std::string trace_path;
+  std::string policy_name = "none";
+  trace::ReplayConfig config;
+  std::int64_t k = 5;
+  double epsilon = 0.005;
+  double delta = 0.05;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--trace")
+      trace_path = next();
+    else if (arg == "--policy")
+      policy_name = next();
+    else if (arg == "--cache")
+      config.cache_capacity = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--eviction") {
+      const std::string ev = next();
+      if (ev == "lru")
+        config.eviction = cache::EvictionPolicy::kLru;
+      else if (ev == "fifo")
+        config.eviction = cache::EvictionPolicy::kFifo;
+      else if (ev == "lfu")
+        config.eviction = cache::EvictionPolicy::kLfu;
+      else if (ev == "random")
+        config.eviction = cache::EvictionPolicy::kRandom;
+      else {
+        usage(argv[0]);
+        return 2;
+      }
+    } else if (arg == "--private-fraction")
+      config.private_fraction = std::atof(next());
+    else if (arg == "--k")
+      k = std::atoll(next());
+    else if (arg == "--epsilon")
+      epsilon = std::atof(next());
+    else if (arg == "--delta")
+      delta = std::atof(next());
+    else if (arg == "--admission")
+      config.cache_admission_probability = std::atof(next());
+    else if (arg == "--seed")
+      config.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  if (trace_path.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+  std::ifstream in(trace_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", trace_path.c_str());
+    return 1;
+  }
+  const trace::Trace tr = trace::parse_trace(in);
+  std::fprintf(stderr, "loaded %zu requests (%zu distinct names)\n", tr.size(),
+               tr.distinct_names());
+
+  if (policy_name == "none") {
+    config.policy_factory = [] { return std::make_unique<core::NoPrivacyPolicy>(); };
+  } else if (policy_name == "always-delay") {
+    config.policy_factory = [] {
+      return std::make_unique<core::AlwaysDelayPolicy>(
+          core::AlwaysDelayPolicy::content_specific());
+    };
+  } else if (policy_name == "uniform") {
+    const std::int64_t domain = core::uniform_domain_for_delta(k, delta);
+    std::fprintf(stderr, "Uniform-Random-Cache: K=%lld (k=%lld delta=%.3f)\n",
+                 static_cast<long long>(domain), static_cast<long long>(k), delta);
+    config.policy_factory = [domain, seed = config.seed] {
+      return core::RandomCachePolicy::uniform(domain, seed + 1);
+    };
+  } else if (policy_name == "expo") {
+    const auto params = core::solve_expo_params(k, epsilon, delta);
+    if (!params) {
+      std::fprintf(stderr, "(k=%lld, eps=%.4f, delta=%.4f) unattainable\n",
+                   static_cast<long long>(k), epsilon, delta);
+      return 1;
+    }
+    std::fprintf(stderr, "Exponential-Random-Cache: alpha=%.6f K=%lld\n", params->alpha,
+                 static_cast<long long>(params->domain));
+    config.policy_factory = [params = *params, seed = config.seed] {
+      return core::RandomCachePolicy::exponential(params.alpha, params.domain, seed + 1);
+    };
+  } else if (policy_name == "naive") {
+    config.policy_factory = [k] { return std::make_unique<core::NaiveThresholdPolicy>(k); };
+  } else {
+    usage(argv[0]);
+    return 2;
+  }
+
+  const trace::ReplayResult result = trace::replay(tr, config);
+  std::printf("policy=%s cache=%zu eviction=%s private=%.0f%% admission=%.2f\n",
+              policy_name.c_str(), config.cache_capacity,
+              std::string(cache::to_string(config.eviction)).c_str(),
+              config.private_fraction * 100.0, config.cache_admission_probability);
+  std::printf("requests            %llu\n",
+              static_cast<unsigned long long>(result.stats.requests));
+  std::printf("exposed hits        %llu (%.2f%%)\n",
+              static_cast<unsigned long long>(result.stats.exposed_hits),
+              result.hit_rate_pct());
+  std::printf("delayed hits        %llu\n",
+              static_cast<unsigned long long>(result.stats.delayed_hits));
+  std::printf("simulated misses    %llu\n",
+              static_cast<unsigned long long>(result.stats.simulated_misses));
+  std::printf("true misses         %llu\n",
+              static_cast<unsigned long long>(result.stats.true_misses));
+  std::printf("served from cache   %.2f%%\n", result.cache_served_pct());
+  std::printf("mean response       %.3f ms\n", result.mean_response_ms);
+  std::printf("private requests    %llu\n",
+              static_cast<unsigned long long>(result.private_requests));
+  return 0;
+}

@@ -1,0 +1,75 @@
+// trace_gen: generate a synthetic IRCache-like request trace to stdout (or
+// a file), in the plain-text format parse_trace() reads.
+//
+//   trace_gen [--requests N] [--objects N] [--users N] [--domains N]
+//             [--zipf S] [--duration SECONDS] [--seed N] [--out FILE]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--requests N] [--objects N] [--users N] [--domains N]\n"
+               "          [--zipf S] [--duration SECONDS] [--seed N] [--out FILE]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ndnp;
+  trace::TraceGenConfig config;
+  std::string out_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--requests")
+      config.num_requests = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--objects")
+      config.num_objects = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--users")
+      config.num_users = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--domains")
+      config.num_domains = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--zipf")
+      config.zipf_exponent = std::atof(next());
+    else if (arg == "--duration")
+      config.duration_s = std::atof(next());
+    else if (arg == "--seed")
+      config.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    else if (arg == "--out")
+      out_path = next();
+    else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  const trace::Trace tr = trace::generate_trace(config);
+  std::fprintf(stderr, "generated %zu requests over %zu objects (%zu distinct requested)\n",
+               tr.size(), tr.catalogue_size, tr.distinct_names());
+  if (out_path.empty()) {
+    trace::write_trace(tr, std::cout);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    trace::write_trace(tr, out);
+  }
+  return 0;
+}
