@@ -1,6 +1,9 @@
 #include "bench_common.hpp"
 
 #include <cstdlib>
+#include <cstring>
+
+#include "runner/runner.hpp"
 
 namespace ndnp::bench {
 
@@ -10,6 +13,29 @@ std::size_t scale_from_env(const char* var, std::size_t fallback) {
     if (parsed > 0) return static_cast<std::size_t>(parsed);
   }
   return fallback;
+}
+
+std::size_t parse_jobs(int argc, char** argv) {
+  std::size_t jobs = scale_from_env("NDNP_JOBS", 1);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      const unsigned long long value = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0') {
+        std::fprintf(stderr, "%s: --jobs expects a number, got '%s'\n", argv[0], argv[i]);
+        std::exit(2);
+      }
+      jobs = runner::resolve_jobs(static_cast<std::size_t>(value));
+    } else {
+      std::fprintf(stderr, "usage: %s [--jobs N]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return jobs;
+}
+
+void report_jobs(std::size_t jobs, double wall_seconds) {
+  std::fprintf(stderr, "[sweep] jobs=%zu wall=%.3fs\n", jobs, wall_seconds);
 }
 
 void print_header(const std::string& figure, const std::string& what) {

@@ -17,6 +17,15 @@ namespace ndnp::bench {
 /// scale_from_env("NDNP_TRACE_REQUESTS", 200'000).
 [[nodiscard]] std::size_t scale_from_env(const char* var, std::size_t fallback);
 
+/// Parse the shared bench flags: `--jobs N` (0 = all hardware threads;
+/// the NDNP_JOBS env var supplies the default). Exits with usage on
+/// unknown arguments. Runner-ported benches produce byte-identical stdout
+/// for every jobs value — parallelism is reported on stderr only.
+[[nodiscard]] std::size_t parse_jobs(int argc, char** argv);
+
+/// Report sweep parallelism/wall-clock on stderr (stdout stays canonical).
+void report_jobs(std::size_t jobs, double wall_seconds);
+
 void print_header(const std::string& figure, const std::string& what);
 void print_footer();
 

@@ -7,49 +7,36 @@
 // target: uniform K = ceil(2k/delta); exponential alpha = e^{-eps/k} and
 // the smallest K meeting delta. Curves use the exact post-insertion
 // convention (see core/theory.hpp for the paper's convention note).
+//
+// The (k, c) grid runs on the deterministic parallel runner
+// (runner::run_fig4a); pass --jobs N. Stdout is byte-identical for every
+// jobs value.
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "core/theory.hpp"
+#include "runner/experiments.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ndnp;
+  const std::size_t jobs = bench::parse_jobs(argc, argv);
   bench::print_header("Figure 4(a)",
                       "utility vs number of requests, Uniform vs Exponential (delta = 0.05)");
 
-  constexpr double kDelta = 0.05;
-  const double epsilons[] = {0.03, 0.04, 0.05};
-
-  for (const std::int64_t k : {1LL, 5LL}) {
-    const std::int64_t uniform_domain = core::uniform_domain_for_delta(k, kDelta);
-    std::printf("k = %lld   (Uniform: K = %lld", static_cast<long long>(k),
-                static_cast<long long>(uniform_domain));
-    core::ExpoParams expo[3];
-    for (int e = 0; e < 3; ++e) {
-      const auto solved = core::solve_expo_params(k, epsilons[e], kDelta);
-      if (!solved) {
-        std::printf("\nunsolvable expo parameterization\n");
-        return 1;
-      }
-      expo[e] = *solved;
-      std::printf("; Expo eps=%.2f: alpha=%.5f K=%lld", epsilons[e], expo[e].alpha,
-                  static_cast<long long>(expo[e].domain));
-    }
-    std::printf(")\n");
-    std::printf("%6s  %10s  %14s  %14s  %14s\n", "c", "Uniform", "Expo e=0.03", "Expo e=0.04",
-                "Expo e=0.05");
-    for (std::int64_t c = 5; c <= 100; c += 5) {
-      std::printf("%6lld  %10.4f  %14.4f  %14.4f  %14.4f\n", static_cast<long long>(c),
-                  core::uniform_utility(c, uniform_domain),
-                  core::expo_utility(c, expo[0].alpha, expo[0].domain),
-                  core::expo_utility(c, expo[1].alpha, expo[1].domain),
-                  core::expo_utility(c, expo[2].alpha, expo[2].domain));
-    }
-    std::printf("\n");
+  runner::Fig4aConfig config;
+  config.jobs = jobs;
+  runner::Fig4aResult result;
+  try {
+    result = runner::run_fig4a(config);
+  } catch (const std::exception& e) {
+    std::printf("unsolvable expo parameterization\n");
+    (void)e;
+    return 1;
   }
+  std::printf("%s", result.format_table().c_str());
   std::printf(
       "Paper: exponential dominates uniform at matched privacy; both utilities rise with c;\n"
       "       the exponential scheme gains up to ~12%% over the uniform one.\n");
   bench::print_footer();
+  bench::report_jobs(jobs, result.wall_seconds);
   return 0;
 }

@@ -6,82 +6,46 @@
 // k = 5, eps = 0.005, cache sizes {2000, 4000, 8000, 16000, 32000, Inf}.
 // Expected shape: No-Privacy > Exponential > Uniform > Always-Delay at
 // every size, all rising with cache size.
+//
+// The scheme x size grid runs on the deterministic parallel runner
+// (runner::run_fig5a); pass --jobs N to fan the 24 replays across N
+// threads. Stdout is byte-identical for every jobs value (the golden
+// vectors under tests/golden/ pin it).
 #include <cstdio>
-#include <memory>
-#include <vector>
 
 #include "bench_common.hpp"
-#include "core/policies.hpp"
-#include "core/theory.hpp"
-#include "trace/replayer.hpp"
+#include "runner/experiments.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ndnp;
+  const std::size_t jobs = bench::parse_jobs(argc, argv);
   bench::print_header("Figure 5(a)", "cache hit rates by scheme and cache size (trace replay)");
 
-  trace::TraceGenConfig gen;
-  gen.num_requests = bench::scale_from_env("NDNP_TRACE_REQUESTS", 200'000);
-  gen.num_objects = bench::scale_from_env("NDNP_TRACE_OBJECTS", 200'000);
-  gen.seed = 2013;
-  const trace::Trace tr = trace::generate_trace(gen);
-  std::printf("trace: %zu requests, %zu users, %zu distinct objects (synthetic IRCache-like)\n",
-              tr.size(), gen.num_users, tr.distinct_names());
+  runner::Fig5aConfig config;
+  config.trace_requests = bench::scale_from_env("NDNP_TRACE_REQUESTS", 200'000);
+  config.trace_objects = bench::scale_from_env("NDNP_TRACE_OBJECTS", 200'000);
+  config.jobs = jobs;
 
-  constexpr std::int64_t kAnonymity = 5;
-  constexpr double kEpsilon = 0.005;
-  constexpr double kDelta = 0.05;
-  const std::int64_t uniform_domain = core::uniform_domain_for_delta(kAnonymity, kDelta);
-  const auto expo = core::solve_expo_params(kAnonymity, kEpsilon, kDelta);
-  if (!expo) {
-    std::printf("unsolvable exponential parameterization\n");
+  runner::Fig5aResult result;
+  try {
+    result = runner::run_fig5a(config);
+  } catch (const std::exception& e) {
+    std::printf("%s\n", e.what());
     return 1;
   }
+
+  std::printf("trace: %zu requests, %zu users, %zu distinct objects (synthetic IRCache-like)\n",
+              result.trace_size, trace::TraceGenConfig{}.num_users, result.trace_distinct);
   std::printf("k=%lld eps=%.3f delta=%.2f -> Uniform K=%lld; Expo alpha=%.6f K=%lld\n",
-              static_cast<long long>(kAnonymity), kEpsilon, kDelta,
-              static_cast<long long>(uniform_domain), expo->alpha,
-              static_cast<long long>(expo->domain));
-  std::printf("private fraction: 0.20, eviction: LRU\n\n");
-
-  struct Scheme {
-    const char* name;
-    std::function<std::unique_ptr<core::CachePrivacyPolicy>()> factory;
-  };
-  const std::vector<Scheme> schemes = {
-      {"No Privacy", [] { return std::make_unique<core::NoPrivacyPolicy>(); }},
-      {"Exponential-Random-Cache",
-       [&] { return core::RandomCachePolicy::exponential(expo->alpha, expo->domain, 5); }},
-      {"Uniform-Random-Cache",
-       [&] { return core::RandomCachePolicy::uniform(uniform_domain, 5); }},
-      {"Always Delay Private",
-       [] {
-         return std::make_unique<core::AlwaysDelayPolicy>(
-             core::AlwaysDelayPolicy::content_specific());
-       }},
-  };
-
-  const std::size_t cache_sizes[] = {2'000, 4'000, 8'000, 16'000, 32'000, 0 /* Inf */};
-
-  std::printf("%-26s", "cache size:");
-  for (const std::size_t size : cache_sizes)
-    size == 0 ? std::printf("%10s", "Inf") : std::printf("%10zu", size);
-  std::printf("\n");
-
-  for (const Scheme& scheme : schemes) {
-    std::printf("%-26s", scheme.name);
-    for (const std::size_t size : cache_sizes) {
-      trace::ReplayConfig config;
-      config.cache_capacity = size;
-      config.private_fraction = 0.2;
-      config.policy_factory = scheme.factory;
-      config.seed = 99;
-      const trace::ReplayResult result = trace::replay(tr, config);
-      std::printf("%9.2f%%", result.hit_rate_pct());
-    }
-    std::printf("\n");
-  }
+              static_cast<long long>(config.anonymity_k), config.epsilon, config.delta,
+              static_cast<long long>(result.uniform_domain), result.expo.alpha,
+              static_cast<long long>(result.expo.domain));
+  std::printf("private fraction: %.2f, eviction: LRU\n\n", config.private_fraction);
+  std::printf("%s", result.format_table().c_str());
 
   std::printf("\nPaper: hit rates rise with cache size; ordering No-Privacy > Exponential >\n"
               "       Uniform > Always-Delay throughout (Figure 5(a) spans ~10-50%%).\n");
   bench::print_footer();
+  bench::report_jobs(jobs, result.wall_seconds);
   return 0;
 }

@@ -2,89 +2,36 @@
 // implementation is run millions of times and compared against the closed
 // forms — expected misses (utility) and the (eps, delta) budgets of the
 // exact output distributions.
-#include <algorithm>
-#include <cmath>
+//
+// Each (scheme, c) / (scheme, x) row runs on the deterministic parallel
+// runner (runner::run_theory_validation) with its own fixed seed; pass
+// --jobs N. Stdout is byte-identical for every jobs value.
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "core/indistinguishability.hpp"
-#include "core/theory.hpp"
-#include "util/rng.hpp"
+#include "runner/experiments.hpp"
 
-namespace {
-
-using namespace ndnp;
-
-/// Literal Algorithm 1: average simulated misses among c post-insertion
-/// requests over `trials` fresh contents.
-double simulate_mean_misses(const core::KDistribution& dist, std::int64_t c,
-                            std::size_t trials, std::uint64_t seed) {
-  util::Rng rng(seed);
-  std::uint64_t total = 0;
-  for (std::size_t trial = 0; trial < trials; ++trial) {
-    const std::int64_t k = dist.sample(rng);
-    for (std::int64_t i = 1; i <= c; ++i)
-      if (i <= k) ++total;
-  }
-  return static_cast<double>(total) / static_cast<double>(trials);
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
+  using namespace ndnp;
+  const std::size_t jobs = bench::parse_jobs(argc, argv);
   bench::print_header("Theorems VI.1-VI.4", "Monte-Carlo validation of the closed forms");
-  const std::size_t trials = bench::scale_from_env("NDNP_THEORY_TRIALS", 200'000);
+
+  runner::TheoryValidationConfig config;
+  config.trials = bench::scale_from_env("NDNP_THEORY_TRIALS", 200'000);
+  config.jobs = jobs;
+  const runner::TheoryValidationResult result = runner::run_theory_validation(config);
 
   std::printf("Utility (Theorems VI.2 / VI.4): E[M(c)] closed form vs %zu-trial simulation\n\n",
-              trials);
-  std::printf("%-28s %5s  %12s  %12s  %10s\n", "scheme", "c", "closed form", "simulated",
-              "|error|");
-  double max_err = 0.0;
-  int row_seed = 0;
-  for (const std::int64_t c : {5LL, 20LL, 80LL}) {
-    const core::UniformK uniform(50);
-    const double closed_u = core::uniform_expected_misses(c, 50);
-    const double sim_u = simulate_mean_misses(uniform, c, trials,
-                                              static_cast<std::uint64_t>(1000 + row_seed++));
-    std::printf("%-28s %5lld  %12.5f  %12.5f  %10.5f\n", "Uniform K=50",
-                static_cast<long long>(c), closed_u, sim_u, std::abs(closed_u - sim_u));
-    max_err = std::max(max_err, std::abs(closed_u - sim_u));
-
-    const core::TruncatedGeometricK expo(0.9, 50);
-    const double closed_e = core::expo_expected_misses(c, 0.9, 50);
-    const double sim_e =
-        simulate_mean_misses(expo, c, trials, static_cast<std::uint64_t>(2000 + row_seed++));
-    std::printf("%-28s %5lld  %12.5f  %12.5f  %10.5f\n", "TruncGeom a=0.9 K=50",
-                static_cast<long long>(c), closed_e, sim_e, std::abs(closed_e - sim_e));
-    max_err = std::max(max_err, std::abs(closed_e - sim_e));
-  }
-  std::printf("max |error| = %.5f (statistical, shrinks as 1/sqrt(trials))\n\n", max_err);
+              config.trials);
+  std::printf("%s", result.format_utility_table().c_str());
+  std::printf("max |error| = %.5f (statistical, shrinks as 1/sqrt(trials))\n\n",
+              result.max_utility_error);
 
   std::printf("Privacy (Theorems VI.1 / VI.3): delta of the exact output distributions at the\n"
               "theorem's epsilon vs the theorem bound (t = K + 8 probes, x prior requests)\n\n");
-  std::printf("%-28s %3s  %10s  %12s  %12s\n", "scheme", "x", "epsilon", "measured", "bound");
-  for (const std::int64_t x : {1LL, 3LL, 5LL}) {
-    {
-      const core::UniformK dist(200);
-      const auto d0 = core::exact_output_distribution(dist, 0, 208);
-      const auto dx = core::exact_output_distribution(dist, x, 208);
-      const core::PrivacyBudget bound = core::uniform_privacy(x, 200);
-      std::printf("%-28s %3lld  %10.4f  %12.6f  %12.6f\n", "Uniform K=200",
-                  static_cast<long long>(x), bound.epsilon,
-                  core::delta_for_epsilon(d0, dx, bound.epsilon + 1e-9), bound.delta);
-    }
-    {
-      const double alpha = 0.99;
-      const core::TruncatedGeometricK dist(alpha, 200);
-      const auto d0 = core::exact_output_distribution(dist, 0, 208);
-      const auto dx = core::exact_output_distribution(dist, x, 208);
-      const core::PrivacyBudget bound = core::expo_privacy(x, alpha, 200);
-      std::printf("%-28s %3lld  %10.4f  %12.6f  %12.6f\n", "TruncGeom a=0.99 K=200",
-                  static_cast<long long>(x), bound.epsilon,
-                  core::delta_for_epsilon(d0, dx, bound.epsilon + 1e-9), bound.delta);
-    }
-  }
+  std::printf("%s", result.format_privacy_table().c_str());
   std::printf("\nPaper: measured delta matches the theorem bounds exactly (tight analysis).\n");
   bench::print_footer();
+  bench::report_jobs(jobs, result.wall_seconds);
   return 0;
 }

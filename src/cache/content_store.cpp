@@ -173,4 +173,13 @@ ndn::Name ContentStore::pick_victim() {
   throw std::logic_error("ContentStore: unknown policy");
 }
 
+void ContentStore::export_metrics(util::MetricsRegistry& registry,
+                                  const std::string& prefix) const {
+  registry.counter(prefix + ".lookups").inc(stats_.lookups);
+  registry.counter(prefix + ".matches").inc(stats_.matches);
+  registry.counter(prefix + ".inserts").inc(stats_.inserts);
+  registry.counter(prefix + ".evictions").inc(stats_.evictions);
+  registry.counter(prefix + ".size").inc(entries_.size());
+}
+
 }  // namespace ndnp::cache

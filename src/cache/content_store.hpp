@@ -19,6 +19,7 @@
 #include <string>
 
 #include "ndn/packet.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/sim_time.hpp"
 
@@ -122,6 +123,10 @@ class ContentStore {
   [[nodiscard]] bool unbounded() const noexcept { return capacity_ == 0; }
   [[nodiscard]] EvictionPolicy policy() const noexcept { return policy_; }
   [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+
+  /// Publish the cache counters into `registry` under `prefix` (e.g.
+  /// "cs.lookups"). Adds the current totals; call once per snapshot.
+  void export_metrics(util::MetricsRegistry& registry, const std::string& prefix) const;
 
   /// Iterate over all entries (test/diagnostic use).
   template <typename Fn>

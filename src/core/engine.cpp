@@ -87,4 +87,15 @@ RequestOutcome CachePrivacyEngine::handle(const ndn::Interest& interest, util::S
           .served_from_cache = false};
 }
 
+void CachePrivacyEngine::export_metrics(util::MetricsRegistry& registry,
+                                        const std::string& prefix) const {
+  registry.counter(prefix + ".requests").inc(stats_.requests);
+  registry.counter(prefix + ".exposed_hits").inc(stats_.exposed_hits);
+  registry.counter(prefix + ".delayed_hits").inc(stats_.delayed_hits);
+  registry.counter(prefix + ".simulated_misses").inc(stats_.simulated_misses);
+  registry.counter(prefix + ".true_misses").inc(stats_.true_misses);
+  store_.export_metrics(registry, prefix + ".cs");
+  policy_->export_metrics(registry, prefix + ".policy");
+}
+
 }  // namespace ndnp::core

@@ -82,6 +82,11 @@ class CachePrivacyEngine {
   [[nodiscard]] cache::ContentStore& store() noexcept { return store_; }
   [[nodiscard]] const CachePrivacyPolicy& policy() const noexcept { return *policy_; }
 
+  /// Publish engine, content-store and policy counters into `registry`
+  /// under `prefix` ("<prefix>.requests", "<prefix>.cs.*",
+  /// "<prefix>.policy.*"). Adds current totals; call once per snapshot.
+  void export_metrics(util::MetricsRegistry& registry, const std::string& prefix) const;
+
   void reset_stats() noexcept { stats_ = {}; }
 
  private:

@@ -208,4 +208,15 @@ std::unique_ptr<CachePrivacyPolicy> RandomCachePolicy::clone() const {
   return copy;
 }
 
+void RandomCachePolicy::export_metrics(util::MetricsRegistry& registry,
+                                       const std::string& prefix) const {
+  registry.counter(prefix + ".groups").inc(groups_.size());
+  std::uint64_t pending = 0;
+  for (const auto& [key, state] : groups_) {
+    (void)key;
+    if (state.count <= state.threshold) ++pending;
+  }
+  registry.counter(prefix + ".pending").inc(pending);
+}
+
 }  // namespace ndnp::core

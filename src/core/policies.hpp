@@ -148,6 +148,9 @@ class RandomCachePolicy final : public CachePrivacyPolicy {
   [[nodiscard]] const KDistribution& distribution() const noexcept { return *dist_; }
   [[nodiscard]] Grouping grouping() const noexcept { return grouping_; }
   [[nodiscard]] std::unique_ptr<CachePrivacyPolicy> clone() const override;
+  /// Exports "<prefix>.groups" (distinct (c_C, k_C) states tracked) and
+  /// "<prefix>.pending" (groups still inside their k_C window).
+  void export_metrics(util::MetricsRegistry& registry, const std::string& prefix) const override;
 
  private:
   struct GroupState {

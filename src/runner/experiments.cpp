@@ -1,0 +1,330 @@
+#include "runner/experiments.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+
+#include "core/indistinguishability.hpp"
+#include "core/k_distribution.hpp"
+#include "core/policies.hpp"
+#include "util/rng.hpp"
+
+namespace ndnp::runner {
+
+namespace {
+
+std::string sprintf_line(const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  return buf;
+}
+
+double elapsed_seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+util::MetricsSnapshot replay_with_metrics(const trace::Trace& trace,
+                                          const trace::ReplayConfig& config) {
+  util::MetricsRegistry registry;
+  trace::ReplayConfig cfg = config;
+  cfg.metrics = &registry;
+  const trace::ReplayResult result = trace::replay(trace, cfg);
+  util::MetricsSnapshot snap = registry.snapshot();
+  snap.counters["replay.private_requests"] = result.private_requests;
+  snap.gauges["replay.hit_rate_pct"] = result.hit_rate_pct();
+  snap.gauges["replay.cache_served_pct"] = result.cache_served_pct();
+  snap.gauges["replay.mean_response_ms"] = result.mean_response_ms;
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5(a)
+
+Fig5aResult run_fig5a(const Fig5aConfig& config) {
+  const auto start = std::chrono::steady_clock::now();
+
+  trace::TraceGenConfig gen;
+  gen.num_requests = config.trace_requests;
+  gen.num_objects = config.trace_objects;
+  gen.seed = config.trace_seed;
+  const trace::Trace tr = trace::generate_trace(gen);
+
+  Fig5aResult result;
+  result.trace_size = tr.size();
+  result.trace_distinct = tr.distinct_names();
+  result.cache_sizes = config.cache_sizes;
+  result.uniform_domain = core::uniform_domain_for_delta(config.anonymity_k, config.delta);
+  const auto expo = core::solve_expo_params(config.anonymity_k, config.epsilon, config.delta);
+  if (!expo)
+    throw std::runtime_error("run_fig5a: unsolvable exponential parameterization");
+  result.expo = *expo;
+
+  struct Scheme {
+    const char* name;
+    std::function<std::unique_ptr<core::CachePrivacyPolicy>()> factory;
+  };
+  // Policy seeds match the original serial bench (5 for the Random-Cache
+  // schemes) so the golden vectors carry over unchanged.
+  const std::int64_t uniform_domain = result.uniform_domain;
+  const std::vector<Scheme> schemes = {
+      {"No Privacy", [] { return std::make_unique<core::NoPrivacyPolicy>(); }},
+      {"Exponential-Random-Cache",
+       [expo] { return core::RandomCachePolicy::exponential(expo->alpha, expo->domain, 5); }},
+      {"Uniform-Random-Cache",
+       [uniform_domain] { return core::RandomCachePolicy::uniform(uniform_domain, 5); }},
+      {"Always Delay Private",
+       [] {
+         return std::make_unique<core::AlwaysDelayPolicy>(
+             core::AlwaysDelayPolicy::content_specific());
+       }},
+  };
+  for (const Scheme& scheme : schemes) result.scheme_names.emplace_back(scheme.name);
+
+  const std::size_t num_sizes = config.cache_sizes.size();
+  SweepOptions options;
+  options.jobs = config.jobs;
+  options.master_seed = config.replay_seed;
+  const std::vector<util::MetricsSnapshot> cells =
+      run_sweep<util::MetricsSnapshot>(schemes.size() * num_sizes, options,
+                                       [&](const RunContext& ctx) {
+        const std::size_t scheme = ctx.run_index / num_sizes;
+        const std::size_t size = ctx.run_index % num_sizes;
+        trace::ReplayConfig replay_config;
+        replay_config.cache_capacity = config.cache_sizes[size];
+        replay_config.private_fraction = config.private_fraction;
+        replay_config.policy_factory = schemes[scheme].factory;
+        replay_config.seed = config.replay_seed;
+        return replay_with_metrics(tr, replay_config);
+      });
+
+  result.cells.resize(schemes.size());
+  for (std::size_t s = 0; s < schemes.size(); ++s)
+    result.cells[s].assign(cells.begin() + static_cast<std::ptrdiff_t>(s * num_sizes),
+                           cells.begin() + static_cast<std::ptrdiff_t>((s + 1) * num_sizes));
+  result.wall_seconds = elapsed_seconds(start);
+  return result;
+}
+
+double Fig5aResult::hit_rate_pct(std::size_t scheme, std::size_t size) const {
+  return cells[scheme][size].gauges.at("replay.hit_rate_pct");
+}
+
+std::string Fig5aResult::format_table() const {
+  std::string out = sprintf_line("%-26s", "cache size:");
+  for (const std::size_t size : cache_sizes)
+    out += size == 0 ? sprintf_line("%10s", "Inf") : sprintf_line("%10zu", size);
+  out += '\n';
+  for (std::size_t s = 0; s < scheme_names.size(); ++s) {
+    out += sprintf_line("%-26s", scheme_names[s].c_str());
+    for (std::size_t z = 0; z < cache_sizes.size(); ++z)
+      out += sprintf_line("%9.2f%%", hit_rate_pct(s, z));
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Fig5aResult::merged_json() const {
+  SweepResult sweep;
+  for (const auto& row : cells)
+    sweep.runs.insert(sweep.runs.end(), row.begin(), row.end());
+  return sweep.merged_json();
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4(a)
+
+Fig4aResult run_fig4a(const Fig4aConfig& config) {
+  const auto start = std::chrono::steady_clock::now();
+
+  Fig4aResult result;
+  for (const std::int64_t k : config.ks) {
+    Fig4aBlock block;
+    block.k = k;
+    block.uniform_domain = core::uniform_domain_for_delta(k, config.delta);
+    for (const double eps : config.epsilons) {
+      const auto solved = core::solve_expo_params(k, eps, config.delta);
+      if (!solved)
+        throw std::runtime_error("run_fig4a: unsolvable exponential parameterization");
+      block.epsilons.push_back(eps);
+      block.expo_params.push_back(*solved);
+    }
+    result.blocks.push_back(std::move(block));
+  }
+
+  std::vector<std::int64_t> c_values;
+  for (std::int64_t c = config.c_min; c <= config.c_max; c += config.c_step)
+    c_values.push_back(c);
+
+  SweepOptions options;
+  options.jobs = config.jobs;
+  const std::vector<Fig4aRow> rows = run_sweep<Fig4aRow>(
+      result.blocks.size() * c_values.size(), options, [&](const RunContext& ctx) {
+        const Fig4aBlock& block = result.blocks[ctx.run_index / c_values.size()];
+        Fig4aRow row;
+        row.c = c_values[ctx.run_index % c_values.size()];
+        row.uniform = core::uniform_utility(row.c, block.uniform_domain);
+        for (const core::ExpoParams& params : block.expo_params)
+          row.expo.push_back(core::expo_utility(row.c, params.alpha, params.domain));
+        return row;
+      });
+
+  for (std::size_t b = 0; b < result.blocks.size(); ++b)
+    result.blocks[b].rows.assign(
+        rows.begin() + static_cast<std::ptrdiff_t>(b * c_values.size()),
+        rows.begin() + static_cast<std::ptrdiff_t>((b + 1) * c_values.size()));
+  result.wall_seconds = elapsed_seconds(start);
+  return result;
+}
+
+std::string Fig4aResult::format_table() const {
+  std::string out;
+  for (const Fig4aBlock& block : blocks) {
+    out += sprintf_line("k = %lld   (Uniform: K = %lld", static_cast<long long>(block.k),
+                        static_cast<long long>(block.uniform_domain));
+    for (std::size_t e = 0; e < block.expo_params.size(); ++e)
+      out += sprintf_line("; Expo eps=%.2f: alpha=%.5f K=%lld", block.epsilons[e],
+                          block.expo_params[e].alpha,
+                          static_cast<long long>(block.expo_params[e].domain));
+    out += ")\n";
+    out += sprintf_line("%6s  %10s", "c", "Uniform");
+    for (const double eps : block.epsilons)
+      out += sprintf_line("  %14s", sprintf_line("Expo e=%.2f", eps).c_str());
+    out += '\n';
+    for (const Fig4aRow& row : block.rows) {
+      out += sprintf_line("%6lld  %10.4f", static_cast<long long>(row.c), row.uniform);
+      for (const double u : row.expo) out += sprintf_line("  %14.4f", u);
+      out += '\n';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Theorems VI.1-VI.4
+
+namespace {
+
+/// Literal Algorithm 1: average simulated misses among c post-insertion
+/// requests over `trials` fresh contents.
+double simulate_mean_misses(const core::KDistribution& dist, std::int64_t c,
+                            std::size_t trials, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::uint64_t total = 0;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const std::int64_t k = dist.sample(rng);
+    for (std::int64_t i = 1; i <= c; ++i)
+      if (i <= k) ++total;
+  }
+  return static_cast<double>(total) / static_cast<double>(trials);
+}
+
+// Constants of the original bench rows (kept verbatim so outputs match).
+constexpr std::int64_t kUtilityDomain = 50;
+constexpr double kUtilityAlpha = 0.9;
+constexpr std::int64_t kPrivacyDomain = 200;
+constexpr double kPrivacyAlpha = 0.99;
+
+}  // namespace
+
+TheoryValidationResult run_theory_validation(const TheoryValidationConfig& config) {
+  const auto start = std::chrono::steady_clock::now();
+  TheoryValidationResult result;
+
+  SweepOptions options;
+  options.jobs = config.jobs;
+
+  // Utility rows, interleaved (uniform, expo) per c with the original
+  // bench's per-row seeds: row r draws from seed (r odd ? 2000 : 1000) + r.
+  result.utility = run_sweep<TheoryUtilityRow>(
+      2 * config.cs.size(), options, [&](const RunContext& ctx) {
+        const std::size_t r = ctx.run_index;
+        const std::int64_t c = config.cs[r / 2];
+        const bool expo = (r % 2) != 0;
+        const std::uint64_t seed = (expo ? 2000 : 1000) + static_cast<std::uint64_t>(r);
+        TheoryUtilityRow row;
+        row.c = c;
+        if (expo) {
+          row.scheme = sprintf_line("TruncGeom a=%.1f K=%lld", kUtilityAlpha,
+                                    static_cast<long long>(kUtilityDomain));
+          const core::TruncatedGeometricK dist(kUtilityAlpha, kUtilityDomain);
+          row.closed_form = core::expo_expected_misses(c, kUtilityAlpha, kUtilityDomain);
+          row.simulated = simulate_mean_misses(dist, c, config.trials, seed);
+        } else {
+          row.scheme = sprintf_line("Uniform K=%lld", static_cast<long long>(kUtilityDomain));
+          const core::UniformK dist(kUtilityDomain);
+          row.closed_form = core::uniform_expected_misses(c, kUtilityDomain);
+          row.simulated = simulate_mean_misses(dist, c, config.trials, seed);
+        }
+        return row;
+      });
+  for (const TheoryUtilityRow& row : result.utility)
+    result.max_utility_error =
+        std::max(result.max_utility_error, std::abs(row.closed_form - row.simulated));
+
+  // Privacy rows: exact output distributions, deterministic closed forms.
+  const std::int64_t probes = kPrivacyDomain + 8;
+  result.privacy = run_sweep<TheoryPrivacyRow>(
+      2 * config.xs.size(), options, [&](const RunContext& ctx) {
+        const std::size_t r = ctx.run_index;
+        const std::int64_t x = config.xs[r / 2];
+        const bool expo = (r % 2) != 0;
+        TheoryPrivacyRow row;
+        row.x = x;
+        if (expo) {
+          row.scheme = sprintf_line("TruncGeom a=%.2f K=%lld", kPrivacyAlpha,
+                                    static_cast<long long>(kPrivacyDomain));
+          const core::TruncatedGeometricK dist(kPrivacyAlpha, kPrivacyDomain);
+          const auto d0 = core::exact_output_distribution(dist, 0, probes);
+          const auto dx = core::exact_output_distribution(dist, x, probes);
+          const core::PrivacyBudget bound = core::expo_privacy(x, kPrivacyAlpha, kPrivacyDomain);
+          row.epsilon = bound.epsilon;
+          row.measured_delta = core::delta_for_epsilon(d0, dx, bound.epsilon + 1e-9);
+          row.bound_delta = bound.delta;
+        } else {
+          row.scheme = sprintf_line("Uniform K=%lld", static_cast<long long>(kPrivacyDomain));
+          const core::UniformK dist(kPrivacyDomain);
+          const auto d0 = core::exact_output_distribution(dist, 0, probes);
+          const auto dx = core::exact_output_distribution(dist, x, probes);
+          const core::PrivacyBudget bound = core::uniform_privacy(x, kPrivacyDomain);
+          row.epsilon = bound.epsilon;
+          row.measured_delta = core::delta_for_epsilon(d0, dx, bound.epsilon + 1e-9);
+          row.bound_delta = bound.delta;
+        }
+        return row;
+      });
+
+  result.wall_seconds = elapsed_seconds(start);
+  return result;
+}
+
+std::string TheoryValidationResult::format_utility_table() const {
+  std::string out = sprintf_line("%-28s %5s  %12s  %12s  %10s\n", "scheme", "c", "closed form",
+                                 "simulated", "|error|");
+  for (const TheoryUtilityRow& row : utility)
+    out += sprintf_line("%-28s %5lld  %12.5f  %12.5f  %10.5f\n", row.scheme.c_str(),
+                        static_cast<long long>(row.c), row.closed_form, row.simulated,
+                        std::abs(row.closed_form - row.simulated));
+  return out;
+}
+
+std::string TheoryValidationResult::format_privacy_table() const {
+  std::string out = sprintf_line("%-28s %3s  %10s  %12s  %12s\n", "scheme", "x", "epsilon",
+                                 "measured", "bound");
+  for (const TheoryPrivacyRow& row : privacy)
+    out += sprintf_line("%-28s %3lld  %10.4f  %12.6f  %12.6f\n", row.scheme.c_str(),
+                        static_cast<long long>(row.x), row.epsilon, row.measured_delta,
+                        row.bound_delta);
+  return out;
+}
+
+}  // namespace ndnp::runner

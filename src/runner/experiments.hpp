@@ -1,0 +1,150 @@
+// Runner-driven definitions of the Section VII sweep experiments.
+//
+// The parameter grids behind bench_fig5a_hit_rates, bench_fig4a_utility and
+// bench_theory_validation live here as library functions so that (a) the
+// bench binaries and the golden/determinism tests share one implementation,
+// and (b) each grid cell runs as an independent `runner` run — parallel
+// under --jobs, with results merged in run-index order and therefore
+// byte-identical to the single-threaded output (tolerance 0; see
+// tests/golden/).
+//
+// Seeding note: these are parameter grids, not seed sweeps, and they
+// reproduce the paper figures, so every cell keeps the exact seed the
+// original serial bench used (e.g. replay seed 99 for every Figure 5(a)
+// cell). Seed sweeps key per-run streams via runner::run_seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/theory.hpp"
+#include "runner/runner.hpp"
+#include "trace/replayer.hpp"
+#include "trace/trace.hpp"
+
+namespace ndnp::runner {
+
+/// Replay `trace` under `config` and return the full metrics snapshot:
+/// engine/cs/policy counters plus the derived replay gauges.
+[[nodiscard]] util::MetricsSnapshot replay_with_metrics(const trace::Trace& trace,
+                                                        const trace::ReplayConfig& config);
+
+// ---------------------------------------------------------------------------
+// Figure 5(a): hit rate by scheme and cache size (trace replay grid).
+
+struct Fig5aConfig {
+  std::size_t trace_requests = 200'000;
+  std::size_t trace_objects = 200'000;
+  std::uint64_t trace_seed = 2013;
+  /// Replay seed used by *every* grid cell (the paper reproduction fixes it).
+  std::uint64_t replay_seed = 99;
+  std::int64_t anonymity_k = 5;
+  double epsilon = 0.005;
+  double delta = 0.05;
+  double private_fraction = 0.2;
+  /// 0 = unlimited (the paper's "Inf" column).
+  std::vector<std::size_t> cache_sizes = {2'000, 4'000, 8'000, 16'000, 32'000, 0};
+  std::size_t jobs = 1;
+};
+
+struct Fig5aResult {
+  std::vector<std::string> scheme_names;
+  std::vector<std::size_t> cache_sizes;
+  /// cells[scheme][size]: full per-run snapshot.
+  std::vector<std::vector<util::MetricsSnapshot>> cells;
+  std::size_t trace_size = 0;
+  std::size_t trace_distinct = 0;
+  std::int64_t uniform_domain = 0;
+  core::ExpoParams expo{};
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] double hit_rate_pct(std::size_t scheme, std::size_t size) const;
+
+  /// The bench's table text (header row + one row per scheme), identical to
+  /// the pre-runner serial output. This is what the golden vectors lock in.
+  [[nodiscard]] std::string format_table() const;
+
+  /// Canonical merged JSON of all cells (row-major) plus the aggregate.
+  [[nodiscard]] std::string merged_json() const;
+};
+
+/// Throws std::runtime_error if the exponential parameterization is
+/// unattainable for (k, epsilon, delta).
+[[nodiscard]] Fig5aResult run_fig5a(const Fig5aConfig& config);
+
+// ---------------------------------------------------------------------------
+// Figure 4(a): utility vs number of requests (closed-form grid).
+
+struct Fig4aConfig {
+  double delta = 0.05;
+  std::vector<double> epsilons = {0.03, 0.04, 0.05};
+  std::vector<std::int64_t> ks = {1, 5};
+  std::int64_t c_min = 5;
+  std::int64_t c_max = 100;
+  std::int64_t c_step = 5;
+  std::size_t jobs = 1;
+};
+
+struct Fig4aRow {
+  std::int64_t c = 0;
+  double uniform = 0.0;
+  std::vector<double> expo;  // one value per configured epsilon
+};
+
+struct Fig4aBlock {
+  std::int64_t k = 0;
+  std::int64_t uniform_domain = 0;
+  std::vector<double> epsilons;               // as configured
+  std::vector<core::ExpoParams> expo_params;  // one per configured epsilon
+  std::vector<Fig4aRow> rows;
+};
+
+struct Fig4aResult {
+  std::vector<Fig4aBlock> blocks;  // one per k
+  double wall_seconds = 0.0;
+
+  /// The bench's full table text (parameter lines + per-c rows per k).
+  [[nodiscard]] std::string format_table() const;
+};
+
+[[nodiscard]] Fig4aResult run_fig4a(const Fig4aConfig& config);
+
+// ---------------------------------------------------------------------------
+// Theorems VI.1-VI.4 Monte-Carlo validation.
+
+struct TheoryValidationConfig {
+  std::size_t trials = 200'000;
+  std::vector<std::int64_t> cs = {5, 20, 80};  // utility section
+  std::vector<std::int64_t> xs = {1, 3, 5};    // privacy section
+  std::size_t jobs = 1;
+};
+
+struct TheoryUtilityRow {
+  std::string scheme;
+  std::int64_t c = 0;
+  double closed_form = 0.0;
+  double simulated = 0.0;
+};
+
+struct TheoryPrivacyRow {
+  std::string scheme;
+  std::int64_t x = 0;
+  double epsilon = 0.0;
+  double measured_delta = 0.0;
+  double bound_delta = 0.0;
+};
+
+struct TheoryValidationResult {
+  std::vector<TheoryUtilityRow> utility;
+  std::vector<TheoryPrivacyRow> privacy;
+  double max_utility_error = 0.0;
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] std::string format_utility_table() const;
+  [[nodiscard]] std::string format_privacy_table() const;
+};
+
+[[nodiscard]] TheoryValidationResult run_theory_validation(const TheoryValidationConfig& config);
+
+}  // namespace ndnp::runner

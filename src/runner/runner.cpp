@@ -1,0 +1,80 @@
+#include "runner/runner.hpp"
+
+#include <chrono>
+#include <mutex>
+
+namespace ndnp::runner {
+
+std::uint64_t run_seed(std::uint64_t master_seed, std::size_t run_index) noexcept {
+  // i-th state of SplitMix64(master_seed) by random access, then the
+  // output function (same constants as util::SplitMix64::next()).
+  std::uint64_t z = master_seed +
+                    0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(run_index) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::size_t resolve_jobs(std::size_t requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+namespace detail {
+
+void parallel_for(std::size_t num_tasks, std::size_t jobs,
+                  const std::function<void(std::size_t)>& body) {
+  jobs = resolve_jobs(jobs == 0 ? 0 : jobs);
+  if (jobs <= 1 || num_tasks <= 1) {
+    for (std::size_t i = 0; i < num_tasks; ++i) body(i);
+    return;
+  }
+  std::atomic<std::size_t> cursor{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= num_tasks) return;
+      try {
+        body(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(std::min(jobs, num_tasks) - 1);
+  for (std::size_t t = 1; t < std::min(jobs, num_tasks); ++t) pool.emplace_back(worker);
+  worker();  // the calling thread participates
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace detail
+
+std::string SweepResult::merged_json() const {
+  std::string out = "{\"runs\":[";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (i) out += ',';
+    out += runs[i].to_json();
+  }
+  out += "],\"aggregate\":";
+  out += aggregate().to_json();
+  out += '}';
+  return out;
+}
+
+SweepResult run_metrics_sweep(std::size_t num_runs, const SweepOptions& options,
+                              const MetricsRunFn& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  SweepResult result;
+  result.runs = run_sweep<util::MetricsSnapshot>(num_runs, options, fn);
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return result;
+}
+
+}  // namespace ndnp::runner

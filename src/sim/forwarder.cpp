@@ -290,4 +290,29 @@ void Forwarder::schedule_pit_timeout(const ndn::Name& name, std::uint64_t versio
   });
 }
 
+void Forwarder::export_metrics(util::MetricsRegistry& registry,
+                               const std::string& prefix) const {
+  registry.counter(prefix + ".interests_received").inc(stats_.interests_received);
+  registry.counter(prefix + ".data_received").inc(stats_.data_received);
+  registry.counter(prefix + ".exposed_hits").inc(stats_.exposed_hits);
+  registry.counter(prefix + ".delayed_hits").inc(stats_.delayed_hits);
+  registry.counter(prefix + ".simulated_misses").inc(stats_.simulated_misses);
+  registry.counter(prefix + ".true_misses").inc(stats_.true_misses);
+  registry.counter(prefix + ".forwarded_interests").inc(stats_.forwarded_interests);
+  registry.counter(prefix + ".collapsed_interests").inc(stats_.collapsed_interests);
+  registry.counter(prefix + ".nonce_drops").inc(stats_.nonce_drops);
+  registry.counter(prefix + ".scope_drops").inc(stats_.scope_drops);
+  registry.counter(prefix + ".no_route_drops").inc(stats_.no_route_drops);
+  registry.counter(prefix + ".pit_overflows").inc(stats_.pit_overflows);
+  registry.counter(prefix + ".admission_skips").inc(stats_.admission_skips);
+  registry.counter(prefix + ".nacks_sent").inc(stats_.nacks_sent);
+  registry.counter(prefix + ".nacks_received").inc(stats_.nacks_received);
+  registry.counter(prefix + ".unsolicited_data").inc(stats_.unsolicited_data);
+  registry.counter(prefix + ".pit_expirations").inc(stats_.pit_expirations);
+  registry.counter(prefix + ".data_forwarded").inc(stats_.data_forwarded);
+  registry.counter(prefix + ".pit_size").inc(pit_.size());
+  cs_.export_metrics(registry, prefix + ".cs");
+  policy_->export_metrics(registry, prefix + ".policy");
+}
+
 }  // namespace ndnp::sim

@@ -112,6 +112,11 @@ class Forwarder final : public Node {
   [[nodiscard]] const core::CachePrivacyPolicy& policy() const noexcept { return *policy_; }
   [[nodiscard]] std::size_t pit_size() const noexcept { return pit_.size(); }
 
+  /// Publish forwarder, content-store and policy counters into `registry`
+  /// under `prefix` ("<prefix>.interests_received", "<prefix>.cs.*", ...).
+  /// Adds current totals; call once per snapshot.
+  void export_metrics(util::MetricsRegistry& registry, const std::string& prefix) const;
+
  private:
   struct Downstream {
     FaceId face = 0;

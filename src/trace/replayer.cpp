@@ -51,6 +51,7 @@ ReplayResult replay(const Trace& trace, const ReplayConfig& config) {
   result.stats = engine.stats();
   result.mean_response_ms =
       trace.records.empty() ? 0.0 : total_response_ms / static_cast<double>(trace.size());
+  if (config.metrics) engine.export_metrics(*config.metrics, "engine");
   return result;
 }
 

@@ -16,6 +16,7 @@
 #include "cache/content_store.hpp"
 #include "core/engine.hpp"
 #include "trace/trace.hpp"
+#include "util/metrics.hpp"
 
 namespace ndnp::trace {
 
@@ -33,6 +34,9 @@ struct ReplayConfig {
   /// Probability of admitting fetched content into the cache (1 = always).
   double cache_admission_probability = 1.0;
   std::uint64_t seed = 1;
+  /// Optional: when set, the engine/cs/policy counters are exported into
+  /// this registry (prefix "engine") after the replay completes.
+  util::MetricsRegistry* metrics = nullptr;
 };
 
 struct ReplayResult {

@@ -5,17 +5,21 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
-#include <unordered_set>
 
 #include "util/rng.hpp"
 
 namespace ndnp::trace {
 
 std::size_t Trace::distinct_names() const {
-  std::unordered_set<std::uint64_t> seen;
-  seen.reserve(records.size());
-  for (const TraceRecord& record : records) seen.insert(record.name.hash64());
-  return seen.size();
+  // Sort-unique instead of a hash set: deterministic memory/iteration
+  // behavior, and src/trace is kept free of unordered containers (enforced
+  // by the determinism-guard test in tests/test_runner.cpp).
+  std::vector<std::uint64_t> hashes;
+  hashes.reserve(records.size());
+  for (const TraceRecord& record : records) hashes.push_back(record.name.hash64());
+  std::sort(hashes.begin(), hashes.end());
+  return static_cast<std::size_t>(
+      std::unique(hashes.begin(), hashes.end()) - hashes.begin());
 }
 
 Trace generate_trace(const TraceGenConfig& config) {

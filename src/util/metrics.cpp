@@ -1,0 +1,244 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <stdexcept>
+
+namespace ndnp::util {
+
+namespace {
+
+/// Round-trip-exact double formatting, locale-independent.
+std::string format_double(double x) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", x);
+  return buf;
+}
+
+/// Minimal JSON string escaping for metric names (which are plain dotted
+/// identifiers in practice; this keeps the exporter safe anyway).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void append_histogram_json(std::string& out, const HistogramData& hist) {
+  out += "{\"lo\":" + format_double(hist.lo) + ",\"hi\":" + format_double(hist.hi) +
+         ",\"counts\":[";
+  for (std::size_t i = 0; i < hist.counts.size(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(hist.counts[i]);
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+HistogramMetric::HistogramMetric(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins) {
+  if (!(lo < hi) || bins == 0)
+    throw std::invalid_argument("HistogramMetric: need lo < hi and bins > 0");
+}
+
+void HistogramMetric::add(double x) noexcept {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  std::size_t bin = 0;
+  if (x >= hi_) {
+    bin = counts_.size() - 1;
+  } else if (x > lo_) {
+    bin = std::min(static_cast<std::size_t>((x - lo_) / width), counts_.size() - 1);
+  }
+  counts_[bin].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t HistogramData::total() const noexcept {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t c : counts) sum += c;
+  return sum;
+}
+
+bool HistogramData::same_shape(const HistogramData& other) const noexcept {
+  return lo == other.lo && hi == other.hi && counts.size() == other.counts.size();
+}
+
+double HistogramData::approx_mean() const noexcept {
+  const std::uint64_t n = total();
+  if (n == 0 || counts.empty()) return 0.0;
+  const double width = (hi - lo) / static_cast<double>(counts.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i)
+    sum += static_cast<double>(counts[i]) * (lo + (static_cast<double>(i) + 0.5) * width);
+  return sum / static_cast<double>(n);
+}
+
+HistogramData merge(const HistogramData& a, const HistogramData& b) {
+  if (!a.same_shape(b))
+    throw std::invalid_argument("merge: histogram shapes differ");
+  HistogramData out = a;
+  for (std::size_t i = 0; i < out.counts.size(); ++i) out.counts[i] += b.counts[i];
+  return out;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + escape(name) + "\":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + escape(name) + "\":" + format_double(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + escape(name) + "\":";
+    append_histogram_json(out, hist);
+  }
+  out += "}}";
+  return out;
+}
+
+bool MetricsSnapshot::operator==(const MetricsSnapshot& other) const {
+  if (counters != other.counters || gauges != other.gauges) return false;
+  if (histograms.size() != other.histograms.size()) return false;
+  for (auto it = histograms.begin(), jt = other.histograms.begin(); it != histograms.end();
+       ++it, ++jt) {
+    if (it->first != jt->first || !it->second.same_shape(jt->second) ||
+        it->second.counts != jt->second.counts)
+      return false;
+  }
+  return true;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name, double lo, double hi,
+                                            std::size_t bins) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<HistogramMetric>(lo, hi, bins);
+  } else if (slot->lo() != lo || slot->hi() != hi || slot->bins() != bins) {
+    throw std::invalid_argument("MetricsRegistry: histogram '" + name +
+                                "' re-registered with a different shape");
+  }
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) snap.counters[name] = counter->value();
+  for (const auto& [name, hist] : histograms_) {
+    HistogramData data;
+    data.lo = hist->lo();
+    data.hi = hist->hi();
+    data.counts.resize(hist->bins());
+    for (std::size_t i = 0; i < hist->bins(); ++i) data.counts[i] = hist->count(i);
+    snap.histograms[name] = std::move(data);
+  }
+  return snap;
+}
+
+void MetricAggregate::add(double x) {
+  stats.add(x);
+  samples.add(x);
+}
+
+SweepAggregate SweepAggregate::from_runs(const std::vector<MetricsSnapshot>& runs) {
+  SweepAggregate agg;
+  agg.runs = runs.size();
+  // Counter names missing from some runs count as 0 there, so the mean is
+  // over all runs; gauges (derived ratios) are only meaningful where
+  // computed and skip absent runs.
+  std::set<std::string> counter_names;
+  for (const MetricsSnapshot& run : runs)
+    for (const auto& [name, value] : run.counters) {
+      (void)value;
+      counter_names.insert(name);
+    }
+  for (const std::string& name : counter_names) {
+    MetricAggregate& metric = agg.counters[name];
+    for (const MetricsSnapshot& run : runs) {
+      const auto it = run.counters.find(name);
+      metric.add(it == run.counters.end() ? 0.0 : static_cast<double>(it->second));
+    }
+  }
+  for (const MetricsSnapshot& run : runs) {
+    for (const auto& [name, value] : run.gauges) agg.gauges[name].add(value);
+    for (const auto& [name, hist] : run.histograms) {
+      const auto it = agg.histograms.find(name);
+      if (it == agg.histograms.end())
+        agg.histograms[name] = hist;
+      else
+        it->second = merge(it->second, hist);
+    }
+  }
+  return agg;
+}
+
+namespace {
+
+void append_aggregate_json(std::string& out, const std::string& name,
+                           const MetricAggregate& metric) {
+  out += '"' + escape(name) + "\":{";
+  out += "\"count\":" + std::to_string(metric.stats.count());
+  out += ",\"mean\":" + format_double(metric.stats.mean());
+  out += ",\"stddev\":" + format_double(metric.stats.stddev());
+  out += ",\"min\":" + format_double(metric.stats.min());
+  out += ",\"max\":" + format_double(metric.stats.max());
+  out += ",\"p50\":" + format_double(metric.percentile(0.5));
+  out += ",\"p95\":" + format_double(metric.percentile(0.95));
+  out += ",\"p99\":" + format_double(metric.percentile(0.99));
+  out += '}';
+}
+
+}  // namespace
+
+std::string SweepAggregate::to_json() const {
+  std::string out = "{\"runs\":" + std::to_string(runs) + ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, metric] : counters) {
+    if (!first) out += ',';
+    first = false;
+    append_aggregate_json(out, name, metric);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, metric] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    append_aggregate_json(out, name, metric);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + escape(name) + "\":";
+    append_histogram_json(out, hist);
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace ndnp::util

@@ -1,0 +1,200 @@
+// Metrics registry: exactness under concurrency, merge algebra, canonical
+// serialization, cross-run aggregation, and the component export hooks.
+#include "util/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "cache/content_store.hpp"
+#include "core/engine.hpp"
+#include "core/policies.hpp"
+#include "sim/forwarder.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ndnp;
+
+TEST(Metrics, CounterConcurrentIncrementsSumExactly) {
+  util::MetricsRegistry registry;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100'000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([&registry, t] {
+      // Exercise both the shared counter and create-or-get racing on a
+      // second name from every thread.
+      util::Counter& shared = registry.counter("shared");
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        shared.inc();
+        registry.counter("contended").inc(t + 1);
+      }
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.counter("shared").value(), kThreads * kPerThread);
+  // sum over t of kPerThread * (t+1) = kPerThread * kThreads*(kThreads+1)/2
+  EXPECT_EQ(registry.counter("contended").value(),
+            kPerThread * kThreads * (kThreads + 1) / 2);
+}
+
+TEST(Metrics, HistogramConcurrentAddsLoseNothing) {
+  util::MetricsRegistry registry;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([&registry, t] {
+      util::Rng rng(1000 + t);
+      util::HistogramMetric& hist = registry.histogram("h", 0.0, 1.0, 32);
+      for (std::size_t i = 0; i < kPerThread; ++i) hist.add(rng.uniform01());
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.snapshot().histograms.at("h").total(), kThreads * kPerThread);
+}
+
+util::HistogramData random_histogram(util::Rng& rng, std::size_t bins) {
+  util::HistogramData h;
+  h.lo = 0.0;
+  h.hi = 10.0;
+  h.counts.resize(bins);
+  for (auto& c : h.counts) c = rng.uniform_u64(1'000'000);
+  return h;
+}
+
+TEST(Metrics, HistogramMergeIsCommutativeAndAssociative) {
+  util::Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t bins = 1 + rng.uniform_u64(64);
+    const util::HistogramData a = random_histogram(rng, bins);
+    const util::HistogramData b = random_histogram(rng, bins);
+    const util::HistogramData c = random_histogram(rng, bins);
+    EXPECT_EQ(merge(a, b).counts, merge(b, a).counts);
+    EXPECT_EQ(merge(merge(a, b), c).counts, merge(a, merge(b, c)).counts);
+    EXPECT_EQ(merge(a, b).total(), a.total() + b.total());
+  }
+}
+
+TEST(Metrics, HistogramMergeRejectsShapeMismatch) {
+  util::Rng rng(7);
+  const util::HistogramData a = random_histogram(rng, 8);
+  util::HistogramData b = random_histogram(rng, 9);
+  EXPECT_THROW((void)merge(a, b), std::invalid_argument);
+  b = random_histogram(rng, 8);
+  b.hi = 20.0;
+  EXPECT_THROW((void)merge(a, b), std::invalid_argument);
+}
+
+TEST(Metrics, HistogramReRegisterShapeMismatchThrows) {
+  util::MetricsRegistry registry;
+  (void)registry.histogram("h", 0.0, 1.0, 8);
+  EXPECT_NO_THROW((void)registry.histogram("h", 0.0, 1.0, 8));
+  EXPECT_THROW((void)registry.histogram("h", 0.0, 2.0, 8), std::invalid_argument);
+  EXPECT_THROW((void)registry.histogram("h", 0.0, 1.0, 16), std::invalid_argument);
+}
+
+TEST(Metrics, SnapshotJsonIsCanonical) {
+  util::MetricsRegistry registry;
+  registry.counter("z.last").inc(3);
+  registry.counter("a.first").inc(1);
+  registry.histogram("lat", 0.0, 100.0, 4).add(12.0);
+  util::MetricsSnapshot snap = registry.snapshot();
+  snap.gauges["rate"] = 0.1 + 0.2;  // non-trivial double must round-trip
+  const std::string json = snap.to_json();
+  // Keys serialize in lexicographic order regardless of insertion order.
+  EXPECT_LT(json.find("a.first"), json.find("z.last"));
+  EXPECT_EQ(json, snap.to_json()) << "serialization must be deterministic";
+  const util::MetricsSnapshot again = registry.snapshot();
+  EXPECT_EQ(again.counters, snap.counters);
+  EXPECT_NE(json.find("\"rate\":0.30000000000000004"), std::string::npos) << json;
+}
+
+TEST(Metrics, SweepAggregateStats) {
+  std::vector<util::MetricsSnapshot> runs(4);
+  const double values[] = {1.0, 2.0, 3.0, 6.0};
+  for (std::size_t i = 0; i < 4; ++i) {
+    runs[i].counters["hits"] = static_cast<std::uint64_t>(values[i]);
+    runs[i].gauges["rate"] = values[i] / 10.0;
+  }
+  runs[3].counters["only_last"] = 8;  // missing elsewhere -> counts as 0
+  const util::SweepAggregate agg = util::SweepAggregate::from_runs(runs);
+  EXPECT_EQ(agg.runs, 4u);
+  EXPECT_DOUBLE_EQ(agg.counters.at("hits").stats.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(agg.counters.at("hits").stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(agg.counters.at("hits").stats.max(), 6.0);
+  EXPECT_DOUBLE_EQ(agg.counters.at("only_last").stats.mean(), 2.0);
+  EXPECT_EQ(agg.counters.at("only_last").stats.count(), 4u);
+  EXPECT_DOUBLE_EQ(agg.gauges.at("rate").percentile(1.0), 0.6);
+  // Welford stddev of {1,2,3,6}: mean 3, var (4+1+0+9)/3
+  EXPECT_NEAR(agg.counters.at("hits").stats.stddev(), std::sqrt(14.0 / 3.0), 1e-12);
+}
+
+TEST(Metrics, SweepAggregateMergesHistograms) {
+  std::vector<util::MetricsSnapshot> runs(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    util::HistogramData h;
+    h.lo = 0.0;
+    h.hi = 4.0;
+    h.counts = {i + 1, 2 * (i + 1)};
+    runs[i].histograms["h"] = h;
+  }
+  const util::SweepAggregate agg = util::SweepAggregate::from_runs(runs);
+  EXPECT_EQ(agg.histograms.at("h").counts, (std::vector<std::uint64_t>{6, 12}));
+}
+
+TEST(Metrics, ContentStoreExport) {
+  cache::ContentStore store(4, cache::EvictionPolicy::kLru);
+  for (int i = 0; i < 6; ++i) {
+    cache::EntryMeta meta;
+    (void)store.insert(ndn::make_data(ndn::Name{"m", "obj" + std::to_string(i)}, "x", "p", "k"),
+                       meta);
+  }
+  util::MetricsRegistry registry;
+  store.export_metrics(registry, "cs");
+  const util::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("cs.inserts"), 6u);
+  EXPECT_EQ(snap.counters.at("cs.evictions"), 2u);
+  EXPECT_EQ(snap.counters.at("cs.size"), 4u);
+}
+
+TEST(Metrics, EngineExportIncludesPolicyAndStore) {
+  // Grouped mode so the policy tracks (c_C, k_C) state of its own (kNone
+  // keeps that state on the cache entry instead).
+  core::CachePrivacyEngine engine(
+      16, cache::EvictionPolicy::kLru,
+      core::RandomCachePolicy::uniform(10, 1, core::Grouping::kByNamespace), 1);
+  const core::CachePrivacyEngine::FetchFn fetch = [](const ndn::Interest& interest) {
+    return std::pair{ndn::make_data(interest.name, "x", "p", "k"), util::millis(10)};
+  };
+  ndn::Interest interest;
+  interest.name = ndn::Name{"m", "obj"};
+  for (int i = 0; i < 5; ++i)
+    (void)engine.handle(interest, util::millis(i), fetch);
+  util::MetricsRegistry registry;
+  engine.export_metrics(registry, "engine");
+  const util::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("engine.requests"), 5u);
+  EXPECT_EQ(snap.counters.at("engine.cs.inserts"), 1u);
+  EXPECT_EQ(snap.counters.at("engine.policy.groups"), 1u);
+  EXPECT_EQ(snap.counters.at("engine.requests"),
+            snap.counters.at("engine.exposed_hits") + snap.counters.at("engine.delayed_hits") +
+                snap.counters.at("engine.simulated_misses") +
+                snap.counters.at("engine.true_misses"));
+}
+
+TEST(Metrics, ForwarderExport) {
+  sim::Scheduler scheduler;
+  sim::ForwarderConfig config;
+  sim::Forwarder forwarder(scheduler, "r1", config);
+  util::MetricsRegistry registry;
+  forwarder.export_metrics(registry, "fwd");
+  const util::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("fwd.interests_received"), 0u);
+  EXPECT_EQ(snap.counters.at("fwd.cs.lookups"), 0u);
+  EXPECT_EQ(snap.counters.at("fwd.pit_size"), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,223 @@
+// Deterministic parallel sweep runner: seed derivation, jobs-independence
+// of merged results, golden vectors for the ported Figure 5(a) bench, and
+// the determinism guard over src/sim + src/trace.
+#include "runner/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runner/experiments.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ndnp;
+
+#ifndef NDNP_SOURCE_ROOT
+#error "tests must be compiled with -DNDNP_SOURCE_ROOT=\"<repo root>\""
+#endif
+
+TEST(Runner, RunSeedMatchesSequentialSplitMix) {
+  // run_seed is documented as the (i+1)-th output of SplitMix64(master),
+  // computed by random access — pin that equivalence.
+  for (const std::uint64_t master : {0ULL, 1ULL, 2013ULL, 0xdeadbeefULL}) {
+    util::SplitMix64 sm(master);
+    for (std::size_t i = 0; i < 100; ++i)
+      EXPECT_EQ(runner::run_seed(master, i), sm.next()) << "master=" << master << " i=" << i;
+  }
+}
+
+TEST(Runner, RunSeedStreamsNeverCollideAcross10kDraws) {
+  // 16 per-run streams keyed by (master_seed, i): no value may repeat
+  // within or across streams over 10k draws each.
+  constexpr std::uint64_t kMaster = 2013;
+  constexpr std::size_t kRuns = 16;
+  constexpr std::size_t kDraws = 10'000;
+  std::vector<std::uint64_t> draws;
+  draws.reserve(kRuns * kDraws);
+  for (std::size_t i = 0; i < kRuns; ++i) {
+    util::Rng rng(runner::run_seed(kMaster, i));
+    for (std::size_t d = 0; d < kDraws; ++d) draws.push_back(rng.next_u64());
+  }
+  std::sort(draws.begin(), draws.end());
+  EXPECT_EQ(std::adjacent_find(draws.begin(), draws.end()), draws.end())
+      << "per-run RNG streams collided";
+  // The seeds themselves must be pairwise distinct too.
+  std::set<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < 1'000; ++i) seeds.insert(runner::run_seed(kMaster, i));
+  EXPECT_EQ(seeds.size(), 1'000u);
+}
+
+/// Synthetic metrics run: counters, gauges and a histogram derived purely
+/// from the per-run seed — any cross-thread leakage or ordering bug
+/// changes the merged output.
+util::MetricsSnapshot synthetic_run(const runner::RunContext& ctx) {
+  util::MetricsRegistry registry;
+  util::Rng rng(ctx.seed);
+  util::Counter& events = registry.counter("events");
+  util::HistogramMetric& hist = registry.histogram("values", 0.0, 1.0, 16);
+  const std::size_t n = 100 + rng.uniform_u64(100);
+  for (std::size_t i = 0; i < n; ++i) {
+    events.inc();
+    hist.add(rng.uniform01());
+  }
+  util::MetricsSnapshot snap = registry.snapshot();
+  snap.counters["run_index"] = ctx.run_index;
+  snap.gauges["mean_draw"] = rng.uniform01();
+  return snap;
+}
+
+TEST(Runner, SixteenRunSweepIsByteIdenticalForJobs148) {
+  runner::SweepOptions options;
+  options.master_seed = 99;
+  options.jobs = 1;
+  const runner::SweepResult jobs1 = runner::run_metrics_sweep(16, options, synthetic_run);
+  options.jobs = 4;
+  const runner::SweepResult jobs4 = runner::run_metrics_sweep(16, options, synthetic_run);
+  options.jobs = 8;
+  const runner::SweepResult jobs8 = runner::run_metrics_sweep(16, options, synthetic_run);
+
+  ASSERT_EQ(jobs1.runs.size(), 16u);
+  const std::string json1 = jobs1.merged_json();
+  EXPECT_EQ(json1, jobs4.merged_json());
+  EXPECT_EQ(json1, jobs8.merged_json());
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_TRUE(jobs1.runs[i] == jobs4.runs[i]) << "run " << i;
+    EXPECT_EQ(jobs1.runs[i].counters.at("run_index"), i) << "merge order broken";
+  }
+}
+
+TEST(Runner, SweepPreservesRunIndexOrder) {
+  runner::SweepOptions options;
+  options.jobs = 8;
+  const std::vector<std::size_t> results = runner::run_sweep<std::size_t>(
+      64, options, [](const runner::RunContext& ctx) { return ctx.run_index * 10; });
+  for (std::size_t i = 0; i < results.size(); ++i) EXPECT_EQ(results[i], i * 10);
+}
+
+TEST(Runner, SweepRethrowsWorkerExceptions) {
+  runner::SweepOptions options;
+  options.jobs = 4;
+  EXPECT_THROW(runner::run_sweep<int>(16, options,
+                                      [](const runner::RunContext& ctx) {
+                                        if (ctx.run_index == 7)
+                                          throw std::runtime_error("boom");
+                                        return 0;
+                                      }),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Golden vectors: the ported Figure 5(a) sweep must reproduce the
+// single-threaded outputs exactly (tolerance 0), for 3 fixed seeds.
+
+runner::Fig5aConfig golden_config(std::uint64_t replay_seed) {
+  runner::Fig5aConfig config;
+  config.trace_requests = 10'000;
+  config.trace_objects = 10'000;
+  config.replay_seed = replay_seed;
+  return config;
+}
+
+std::filesystem::path golden_path(std::uint64_t replay_seed) {
+  return std::filesystem::path(NDNP_SOURCE_ROOT) / "tests" / "golden" /
+         ("fig5a_seed" + std::to_string(replay_seed) + ".txt");
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(RunnerGolden, Fig5aMatchesSingleThreadedGoldenVectors) {
+  for (const std::uint64_t seed : {99ULL, 7ULL, 2025ULL}) {
+    const runner::Fig5aResult result = runner::run_fig5a(golden_config(seed));
+    const std::string table = result.format_table();
+    const std::filesystem::path path = golden_path(seed);
+    std::string expected = read_file(path);
+    if (expected.empty() && std::getenv("NDNP_REGEN_GOLDEN")) {
+      std::filesystem::create_directories(path.parent_path());
+      std::ofstream(path) << table;
+      expected = table;
+    }
+    ASSERT_FALSE(expected.empty())
+        << "missing golden vector " << path
+        << " (regenerate with NDNP_REGEN_GOLDEN=1, single-threaded)";
+    EXPECT_EQ(table, expected) << "seed " << seed << " diverged from the locked-in "
+                               << "single-threaded output (tolerance is 0, not epsilon)";
+  }
+}
+
+TEST(RunnerGolden, Fig5aByteIdenticalAcrossJobs) {
+  runner::Fig5aConfig config = golden_config(99);
+  const std::string jobs1 = runner::run_fig5a(config).format_table();
+  config.jobs = 4;
+  const std::string jobs4 = runner::run_fig5a(config).format_table();
+  config.jobs = 8;
+  runner::Fig5aResult result8 = runner::run_fig5a(config);
+  EXPECT_EQ(jobs1, jobs4);
+  EXPECT_EQ(jobs1, result8.format_table());
+  // The full merged metrics JSON (not just the table) is jobs-invariant.
+  config.jobs = 1;
+  EXPECT_EQ(runner::run_fig5a(config).merged_json(), result8.merged_json());
+}
+
+TEST(RunnerGolden, Fig4aAndTheoryByteIdenticalAcrossJobs) {
+  runner::Fig4aConfig fig4a;
+  const std::string fig4a_serial = runner::run_fig4a(fig4a).format_table();
+  fig4a.jobs = 8;
+  EXPECT_EQ(fig4a_serial, runner::run_fig4a(fig4a).format_table());
+
+  runner::TheoryValidationConfig theory;
+  theory.trials = 20'000;
+  const runner::TheoryValidationResult serial = runner::run_theory_validation(theory);
+  theory.jobs = 5;
+  const runner::TheoryValidationResult parallel = runner::run_theory_validation(theory);
+  EXPECT_EQ(serial.format_utility_table(), parallel.format_utility_table());
+  EXPECT_EQ(serial.format_privacy_table(), parallel.format_privacy_table());
+  EXPECT_EQ(serial.max_utility_error, parallel.max_utility_error);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism guard: simulation results must never depend on wall clock,
+// libc rand, or unordered-container iteration order. This scan fails if
+// such a dependency is (re)introduced in src/sim or src/trace.
+
+TEST(DeterminismGuard, SimAndTraceSourcesAvoidNondeterministicPrimitives) {
+  const std::vector<std::string> banned = {
+      "std::rand", "srand(", "::time(", "std::time", "unordered_map", "unordered_set",
+      "std::random_device",
+  };
+  std::vector<std::filesystem::path> files;
+  for (const char* dir : {"src/sim", "src/trace"}) {
+    const std::filesystem::path root = std::filesystem::path(NDNP_SOURCE_ROOT) / dir;
+    ASSERT_TRUE(std::filesystem::is_directory(root)) << root;
+    for (const auto& entry : std::filesystem::directory_iterator(root)) {
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".cpp" || ext == ".hpp") files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_GE(files.size(), 10u) << "guard scanned suspiciously few files";
+  for (const std::filesystem::path& file : files) {
+    const std::string source = read_file(file);
+    ASSERT_FALSE(source.empty()) << file;
+    for (const std::string& token : banned)
+      EXPECT_EQ(source.find(token), std::string::npos)
+          << file << " uses banned nondeterministic primitive '" << token
+          << "' — draw through util::Rng / iterate ordered containers instead";
+  }
+}
+
+}  // namespace

@@ -1,18 +1,29 @@
-// replay_tool: replay a trace file (trace_gen format; real proxy logs can
-// be converted to it) through a router cache under a chosen privacy scheme
-// and report hit rates and latency.
+// replay_tool: replay one or more trace files (trace_gen format; real proxy
+// logs can be converted to it) through a router cache under a chosen
+// privacy scheme and report hit rates and latency.
 //
-//   replay_tool --trace FILE [--policy none|always-delay|uniform|expo|naive]
+//   replay_tool --trace FILE [--trace FILE ...] [--jobs N]
+//               [--policy none|always-delay|uniform|expo|naive]
 //               [--cache N] [--eviction lru|fifo|lfu|random]
 //               [--private-fraction F] [--k N] [--epsilon E] [--delta D]
-//               [--admission P] [--seed N]
+//               [--admission P] [--seed N] [--json]
+//
+// With several --trace files the replays fan across --jobs threads on the
+// deterministic runner (each trace gets its own engine and RNG); results
+// print in trace order, identical for any jobs count. --json replaces the
+// human-readable tables with the merged metrics JSON (per-trace snapshots +
+// cross-trace aggregate), so stdout is directly machine-parseable.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/policies.hpp"
 #include "core/theory.hpp"
+#include "runner/experiments.hpp"
+#include "runner/runner.hpp"
 #include "trace/replayer.hpp"
 
 namespace {
@@ -20,9 +31,10 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s --trace FILE [--policy none|always-delay|uniform|expo|naive]\n"
+      "usage: %s --trace FILE [--trace FILE ...] [--jobs N]\n"
+      "          [--policy none|always-delay|uniform|expo|naive]\n"
       "          [--cache N] [--eviction lru|fifo|lfu|random] [--private-fraction F]\n"
-      "          [--k N] [--epsilon E] [--delta D] [--admission P] [--seed N]\n",
+      "          [--k N] [--epsilon E] [--delta D] [--admission P] [--seed N] [--json]\n",
       argv0);
 }
 
@@ -31,12 +43,14 @@ void usage(const char* argv0) {
 int main(int argc, char** argv) {
   using namespace ndnp;
 
-  std::string trace_path;
+  std::vector<std::string> trace_paths;
   std::string policy_name = "none";
   trace::ReplayConfig config;
   std::int64_t k = 5;
   double epsilon = 0.005;
   double delta = 0.05;
+  std::size_t jobs = 1;
+  bool emit_json = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -48,7 +62,19 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--trace")
-      trace_path = next();
+      trace_paths.emplace_back(next());
+    else if (arg == "--jobs") {
+      const char* value = next();
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(value, &end, 10);
+      if (end == value || *end != '\0') {
+        std::fprintf(stderr, "%s: --jobs expects a number, got '%s'\n", argv[0], value);
+        return 2;
+      }
+      jobs = runner::resolve_jobs(static_cast<std::size_t>(parsed));
+    }
+    else if (arg == "--json")
+      emit_json = true;
     else if (arg == "--policy")
       policy_name = next();
     else if (arg == "--cache")
@@ -85,18 +111,23 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (trace_path.empty()) {
+  if (trace_paths.empty()) {
     usage(argv[0]);
     return 2;
   }
-  std::ifstream in(trace_path);
-  if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", trace_path.c_str());
-    return 1;
+
+  std::vector<trace::Trace> traces;
+  traces.reserve(trace_paths.size());
+  for (const std::string& path : trace_paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    traces.push_back(trace::parse_trace(in));
+    std::fprintf(stderr, "loaded %s: %zu requests (%zu distinct names)\n", path.c_str(),
+                 traces.back().size(), traces.back().distinct_names());
   }
-  const trace::Trace tr = trace::parse_trace(in);
-  std::fprintf(stderr, "loaded %zu requests (%zu distinct names)\n", tr.size(),
-               tr.distinct_names());
 
   if (policy_name == "none") {
     config.policy_factory = [] { return std::make_unique<core::NoPrivacyPolicy>(); };
@@ -131,25 +162,61 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const trace::ReplayResult result = trace::replay(tr, config);
-  std::printf("policy=%s cache=%zu eviction=%s private=%.0f%% admission=%.2f\n",
-              policy_name.c_str(), config.cache_capacity,
-              std::string(cache::to_string(config.eviction)).c_str(),
-              config.private_fraction * 100.0, config.cache_admission_probability);
-  std::printf("requests            %llu\n",
-              static_cast<unsigned long long>(result.stats.requests));
-  std::printf("exposed hits        %llu (%.2f%%)\n",
-              static_cast<unsigned long long>(result.stats.exposed_hits),
-              result.hit_rate_pct());
-  std::printf("delayed hits        %llu\n",
-              static_cast<unsigned long long>(result.stats.delayed_hits));
-  std::printf("simulated misses    %llu\n",
-              static_cast<unsigned long long>(result.stats.simulated_misses));
-  std::printf("true misses         %llu\n",
-              static_cast<unsigned long long>(result.stats.true_misses));
-  std::printf("served from cache   %.2f%%\n", result.cache_served_pct());
-  std::printf("mean response       %.3f ms\n", result.mean_response_ms);
-  std::printf("private requests    %llu\n",
-              static_cast<unsigned long long>(result.private_requests));
+  // One run per trace, fanned across --jobs threads; each run gets a fresh
+  // engine via the policy factory, so traces never share mutable state.
+  struct TraceRunResult {
+    trace::ReplayResult replay;
+    util::MetricsSnapshot metrics;
+  };
+  runner::SweepOptions options;
+  options.jobs = jobs;
+  options.master_seed = config.seed;
+  const std::vector<TraceRunResult> results = runner::run_sweep<TraceRunResult>(
+      traces.size(), options, [&](const runner::RunContext& ctx) {
+        util::MetricsRegistry registry;
+        trace::ReplayConfig run_config = config;
+        run_config.metrics = &registry;
+        TraceRunResult out;
+        out.replay = trace::replay(traces[ctx.run_index], run_config);
+        out.metrics = registry.snapshot();
+        out.metrics.counters["replay.private_requests"] = out.replay.private_requests;
+        out.metrics.gauges["replay.hit_rate_pct"] = out.replay.hit_rate_pct();
+        out.metrics.gauges["replay.cache_served_pct"] = out.replay.cache_served_pct();
+        out.metrics.gauges["replay.mean_response_ms"] = out.replay.mean_response_ms;
+        return out;
+      });
+
+  if (emit_json) {
+    // Pure JSON on stdout so the output pipes straight into a parser.
+    runner::SweepResult sweep;
+    for (const TraceRunResult& r : results) sweep.runs.push_back(r.metrics);
+    std::printf("%s\n", sweep.merged_json().c_str());
+    return 0;
+  }
+
+  for (std::size_t t = 0; t < results.size(); ++t) {
+    const trace::ReplayResult& result = results[t].replay;
+    if (results.size() > 1) std::printf("=== trace %s ===\n", trace_paths[t].c_str());
+    std::printf("policy=%s cache=%zu eviction=%s private=%.0f%% admission=%.2f\n",
+                policy_name.c_str(), config.cache_capacity,
+                std::string(cache::to_string(config.eviction)).c_str(),
+                config.private_fraction * 100.0, config.cache_admission_probability);
+    std::printf("requests            %llu\n",
+                static_cast<unsigned long long>(result.stats.requests));
+    std::printf("exposed hits        %llu (%.2f%%)\n",
+                static_cast<unsigned long long>(result.stats.exposed_hits),
+                result.hit_rate_pct());
+    std::printf("delayed hits        %llu\n",
+                static_cast<unsigned long long>(result.stats.delayed_hits));
+    std::printf("simulated misses    %llu\n",
+                static_cast<unsigned long long>(result.stats.simulated_misses));
+    std::printf("true misses         %llu\n",
+                static_cast<unsigned long long>(result.stats.true_misses));
+    std::printf("served from cache   %.2f%%\n", result.cache_served_pct());
+    std::printf("mean response       %.3f ms\n", result.mean_response_ms);
+    std::printf("private requests    %llu\n",
+                static_cast<unsigned long long>(result.private_requests));
+  }
+
   return 0;
 }
