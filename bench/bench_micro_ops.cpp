@@ -2,7 +2,20 @@
 // substrates — name parsing/hashing, SHA-256/HMAC, content-store
 // insert/lookup under each eviction policy, the privacy policies' decision
 // path, the forwarder pipeline, and trace replay throughput.
+//
+// Besides the google-benchmark suite, main() first runs a deterministic
+// self-timed harness over the two CS hot paths the hash-index rewrite
+// targets — exact-match lookup and insert+evict at 64k entries — and
+// writes the measurements as canonical metrics JSON to
+// BENCH_micro_ops.json in the current directory, next to the pre-rewrite
+// baseline numbers (see EXPERIMENTS.md, "Micro-op hot-path baseline").
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "cache/content_store.hpp"
 #include "core/engine.hpp"
@@ -12,6 +25,7 @@
 #include "sim/apps.hpp"
 #include "sim/forwarder.hpp"
 #include "trace/replayer.hpp"
+#include "util/metrics.hpp"
 
 namespace {
 
@@ -111,6 +125,57 @@ void BM_ContentStoreLookupHit(benchmark::State& state) {
 }
 BENCHMARK(BM_ContentStoreLookupHit);
 
+// The two hot paths the hash-index CS rewrite is accountable for, at the
+// 64k working-set size the acceptance numbers are pinned at.
+void BM_ContentStoreLookup64k(benchmark::State& state) {
+  const auto policy = static_cast<cache::EvictionPolicy>(state.range(0));
+  cache::ContentStore cs(0, policy, 1);
+  constexpr std::uint64_t kEntries = 65536;
+  std::vector<ndn::Interest> interests;
+  interests.reserve(kEntries);
+  for (std::uint64_t i = 0; i < kEntries; ++i) {
+    ndn::Data data;
+    data.name = ndn::Name("/bench/obj").append_number(i);
+    cs.insert(std::move(data), {});
+    ndn::Interest interest;
+    interest.name = ndn::Name("/bench/obj").append_number(i * 7919 % kEntries);
+    interests.push_back(std::move(interest));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cs.find(interests[i]));
+    if (++i == interests.size()) i = 0;
+  }
+}
+BENCHMARK(BM_ContentStoreLookup64k)
+    ->Arg(static_cast<int>(cache::EvictionPolicy::kLru))
+    ->Arg(static_cast<int>(cache::EvictionPolicy::kFifo))
+    ->Arg(static_cast<int>(cache::EvictionPolicy::kLfu))
+    ->Arg(static_cast<int>(cache::EvictionPolicy::kRandom));
+
+void BM_ContentStoreInsertEvict64k(benchmark::State& state) {
+  const auto policy = static_cast<cache::EvictionPolicy>(state.range(0));
+  constexpr std::uint64_t kEntries = 65536;
+  cache::ContentStore cs(kEntries, policy, 1);
+  std::uint64_t i = 0;
+  for (; i < kEntries; ++i) {
+    ndn::Data data;
+    data.name = ndn::Name("/bench/obj").append_number(i);
+    cs.insert(std::move(data), {});
+  }
+  // Every timed insert is a fresh name, so at steady state each one evicts.
+  for (auto _ : state) {
+    ndn::Data data;
+    data.name = ndn::Name("/bench/obj").append_number(i++);
+    cs.insert(std::move(data), {});
+  }
+}
+BENCHMARK(BM_ContentStoreInsertEvict64k)
+    ->Arg(static_cast<int>(cache::EvictionPolicy::kLru))
+    ->Arg(static_cast<int>(cache::EvictionPolicy::kFifo))
+    ->Arg(static_cast<int>(cache::EvictionPolicy::kLfu))
+    ->Arg(static_cast<int>(cache::EvictionPolicy::kRandom));
+
 void BM_EngineRequest(benchmark::State& state) {
   core::CachePrivacyEngine engine(4096, cache::EvictionPolicy::kLru,
                                   core::RandomCachePolicy::exponential(0.999, 1024, 1));
@@ -174,6 +239,114 @@ void BM_TraceReplayThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceReplayThroughput)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Deterministic hot-path report (BENCH_micro_ops.json).
+//
+// Self-timed (std::chrono, not google-benchmark) so the op counts and
+// access patterns are fixed and the derived Mops/s gauges are directly
+// comparable across commits. The *_baseline_mops gauges are the numbers
+// the ordered-map ContentStore produced on the reference machine right
+// before the hash-index rewrite, measured with this same harness; the
+// rewrite's acceptance criterion is speedup >= 2 on every row.
+
+struct HotPathBaseline {
+  cache::EvictionPolicy policy;
+  double lookup_mops;
+  double insert_evict_mops;
+};
+
+// Pre-rewrite numbers (ordered std::map CS; see EXPERIMENTS.md).
+constexpr HotPathBaseline kBaselines[] = {
+    {cache::EvictionPolicy::kLru, 0.738, 0.621},
+    {cache::EvictionPolicy::kFifo, 0.849, 0.628},
+    {cache::EvictionPolicy::kLfu, 0.782, 0.500},
+    {cache::EvictionPolicy::kRandom, 0.707, 0.219},
+};
+
+double run_lookup64k(cache::EvictionPolicy policy, std::uint64_t ops) {
+  constexpr std::uint64_t kEntries = 65536;
+  cache::ContentStore cs(0, policy, 1);
+  std::vector<ndn::Interest> interests;
+  interests.reserve(kEntries);
+  for (std::uint64_t i = 0; i < kEntries; ++i) {
+    ndn::Data data;
+    data.name = ndn::Name("/bench/obj").append_number(i);
+    cs.insert(std::move(data), {});
+    ndn::Interest interest;
+    interest.name = ndn::Name("/bench/obj").append_number(i * 7919 % kEntries);
+    interests.push_back(std::move(interest));
+  }
+  std::uint64_t hits = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t done = 0; done < ops;) {
+    for (const ndn::Interest& interest : interests) {
+      if (done++ == ops) break;
+      if (cs.find(interest) != nullptr) ++hits;
+    }
+  }
+  const double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (hits == 0) std::fprintf(stderr, "lookup64k: impossible zero hits\n");
+  return static_cast<double>(ops) / secs / 1e6;
+}
+
+double run_insert_evict64k(cache::EvictionPolicy policy, std::uint64_t ops) {
+  constexpr std::uint64_t kEntries = 65536;
+  cache::ContentStore cs(kEntries, policy, 1);
+  std::uint64_t i = 0;
+  for (; i < kEntries; ++i) {
+    ndn::Data data;
+    data.name = ndn::Name("/bench/obj").append_number(i);
+    cs.insert(std::move(data), {});
+  }
+  // Pre-build the Data outside the timed region: the harness measures the
+  // store, not Name construction.
+  std::vector<ndn::Data> pending;
+  pending.reserve(ops);
+  for (std::uint64_t j = 0; j < ops; ++j, ++i) {
+    ndn::Data data;
+    data.name = ndn::Name("/bench/obj").append_number(i);
+    pending.push_back(std::move(data));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (ndn::Data& data : pending) cs.insert(std::move(data), {});
+  const double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (cs.stats().evictions != ops) std::fprintf(stderr, "insert_evict64k: eviction miscount\n");
+  return static_cast<double>(ops) / secs / 1e6;
+}
+
+void write_hot_path_report(const char* path) {
+  constexpr std::uint64_t kLookupOps = 1'310'720;   // 20 x 65536
+  constexpr std::uint64_t kInsertOps = 400'000;
+  util::MetricsRegistry registry;
+  registry.counter("cs64k.exact_lookup.ops").inc(kLookupOps);
+  registry.counter("cs64k.insert_evict.ops").inc(kInsertOps);
+  util::MetricsSnapshot snap = registry.snapshot();
+  std::printf("CS hot paths at 64k entries (also written to %s):\n", path);
+  for (const HotPathBaseline& base : kBaselines) {
+    const std::string policy(cache::to_string(base.policy));
+    const double lookup = run_lookup64k(base.policy, kLookupOps);
+    const double insert = run_insert_evict64k(base.policy, kInsertOps);
+    snap.gauges["cs64k.exact_lookup." + policy + ".mops"] = lookup;
+    snap.gauges["cs64k.exact_lookup." + policy + ".baseline_mops"] = base.lookup_mops;
+    snap.gauges["cs64k.exact_lookup." + policy + ".speedup"] = lookup / base.lookup_mops;
+    snap.gauges["cs64k.insert_evict." + policy + ".mops"] = insert;
+    snap.gauges["cs64k.insert_evict." + policy + ".baseline_mops"] = base.insert_evict_mops;
+    snap.gauges["cs64k.insert_evict." + policy + ".speedup"] = insert / base.insert_evict_mops;
+    std::printf("  %-6s exact_lookup %7.3f Mops/s (baseline %5.3f, x%.2f)   "
+                "insert_evict %7.3f Mops/s (baseline %5.3f, x%.2f)\n",
+                policy.c_str(), lookup, base.lookup_mops, lookup / base.lookup_mops, insert,
+                base.insert_evict_mops, insert / base.insert_evict_mops);
+  }
+  std::ofstream out(path);
+  out << snap.to_json() << '\n';
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  write_hot_path_report("BENCH_micro_ops.json");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

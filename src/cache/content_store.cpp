@@ -18,45 +18,112 @@ std::string_view to_string(EvictionPolicy policy) noexcept {
 ContentStore::ContentStore(std::size_t capacity, EvictionPolicy policy, std::uint64_t seed)
     : capacity_(capacity), policy_(policy), rng_(seed) {}
 
+ContentStore::~ContentStore() { lfu_free_all(); }
+
+ContentStore::Node* ContentStore::exact_find(std::uint64_t hash,
+                                             const ndn::Name& name) const noexcept {
+  const std::unique_ptr<Node>* slot = entries_.find(
+      hash, [&name](const std::unique_ptr<Node>& node) { return node->entry.data.name == name; });
+  return slot ? slot->get() : nullptr;
+}
+
 Entry& ContentStore::insert(ndn::Data data, EntryMeta meta) {
   ++stats_.inserts;
-  const ndn::Name name = data.name;
+  scratch_prefixes_.clear();
+  data.name.visit_prefix_hashes(
+      [this](std::uint64_t h) { scratch_prefixes_.push_back({.hash = h}); });
+  const std::uint64_t name_hash = scratch_prefixes_.back().hash;
 
-  if (auto it = entries_.find(name); it != entries_.end()) {
+  if (Node* existing = exact_find(name_hash, data.name)) {
     // Overwrite in place; keep eviction position (refresh handled by
     // touch() from the caller if desired).
-    it->second.entry.data = std::move(data);
-    it->second.entry.meta = meta;
-    return it->second.entry;
+    existing->entry.data = std::move(data);
+    existing->entry.meta = meta;
+    return existing->entry;
   }
 
-  if (!unbounded() && entries_.size() >= capacity_) {
-    const ndn::Name victim = pick_victim();
-    erase(victim);
+  if (!unbounded() && size() >= capacity_) {
+    remove_node(pick_victim());
     ++stats_.evictions;
   }
 
-  auto [it, inserted] = entries_.emplace(name, Node{});
+  std::unique_ptr<Node> node = acquire_node();
+  Node* raw = node.get();
+  raw->entry.data = std::move(data);
+  raw->entry.meta = meta;
+  raw->entry.name_hash = name_hash;
+  raw->prefixes = scratch_prefixes_;  // copy-assign reuses a recycled node's capacity
+
+  index_insert(raw);
+
+  // Register under every *strict* prefix depth. Depth 0 is all_entries_
+  // (shared with the random-eviction index); depths 1..depth-1 live in the
+  // per-depth hash tables. The entry's own full depth is deliberately not
+  // registered: an interest at that depth naming this entry exactly is
+  // served by the exact-match fast path in find(), so a full-depth bucket
+  // (one per unique name — pure alloc/probe churn) would never decide a
+  // lookup.
+  raw->prefixes[0].pos = static_cast<std::uint32_t>(all_entries_.size());
+  all_entries_.push_back(raw);
+  if (raw->depth() >= 2 && prefix_index_.size() < raw->depth())
+    prefix_index_.resize(raw->depth());
+  for (std::size_t d = 1; d < raw->depth(); ++d) {
+    auto [bucket, created] = prefix_index_[d].emplace(
+        raw->prefixes[d].hash, {}, [](const std::vector<Node*>&) { return true; });
+    (void)created;
+    raw->prefixes[d].pos = static_cast<std::uint32_t>(bucket->size());
+    bucket->push_back(raw);
+  }
+
+  const auto [slot, inserted] = entries_.emplace(
+      name_hash, std::move(node),
+      [raw](const std::unique_ptr<Node>& n) { return n->entry.data.name == raw->entry.data.name; });
   assert(inserted);
-  it->second.entry.data = std::move(data);
-  it->second.entry.meta = meta;
-  index_insert(name, it->second);
-  return it->second.entry;
+  (void)slot;
+  (void)inserted;
+  return raw->entry;
 }
 
 Entry* ContentStore::find(const ndn::Interest& interest, util::SimTime now) {
   ++stats_.lookups;
   const bool check_freshness = interest.must_be_fresh && now != util::kTimeUnset;
-  // All names having interest.name as a prefix sort as a contiguous range
-  // starting at lower_bound(interest.name).
-  for (auto it = entries_.lower_bound(interest.name); it != entries_.end(); ++it) {
-    if (!interest.name.is_prefix_of(it->first)) break;
-    if (!it->second.entry.data.satisfies(interest)) continue;  // e.g. exact-match-only sibling
-    if (check_freshness && !it->second.entry.fresh_at(now)) continue;  // stale
-    ++stats_.matches;
-    return &it->second.entry;
+  const std::uint64_t hash = interest.name.hash64();
+
+  // Exact fast path: an entry named exactly interest.name always satisfies
+  // (prefix trivially, exact-only by equality) and — having the empty
+  // suffix — is the lexicographically smallest possible match.
+  if (Node* node = exact_find(hash, interest.name)) {
+    if (!check_freshness || node->entry.fresh_at(now)) {
+      ++stats_.matches;
+      return &node->entry;
+    }
   }
-  return nullptr;
+
+  // Prefix path: every *strictly deeper* candidate sits in the bucket
+  // keyed by the interest name's own hash at its own depth (a depth-p
+  // entry named exactly interest.name was already handled above). Among
+  // the eligible ones, return the lexicographically smallest
+  // (canonical-order selector).
+  const std::size_t depth = interest.name.size();
+  const std::vector<Node*>* bucket = nullptr;
+  if (depth == 0) {
+    bucket = &all_entries_;
+  } else if (depth < prefix_index_.size()) {
+    bucket = prefix_index_[depth].find(hash, [](const std::vector<Node*>&) { return true; });
+  }
+  if (!bucket) return nullptr;
+
+  Node* best = nullptr;
+  for (Node* node : *bucket) {
+    // satisfies() re-checks the prefix relation, which also screens out
+    // hash-collision strangers sharing this bucket.
+    if (!node->entry.data.satisfies(interest)) continue;
+    if (check_freshness && !node->entry.fresh_at(now)) continue;
+    if (!best || node->entry.data.name < best->entry.data.name) best = node;
+  }
+  if (!best) return nullptr;
+  ++stats_.matches;
+  return &best->entry;
 }
 
 const Entry* ContentStore::find(const ndn::Interest& interest, util::SimTime now) const {
@@ -64,8 +131,8 @@ const Entry* ContentStore::find(const ndn::Interest& interest, util::SimTime now
 }
 
 Entry* ContentStore::find_exact(const ndn::Name& name) {
-  const auto it = entries_.find(name);
-  return it == entries_.end() ? nullptr : &it->second.entry;
+  Node* node = exact_find(name.hash64(), name);
+  return node ? &node->entry : nullptr;
 }
 
 const Entry* ContentStore::find_exact(const ndn::Name& name) const {
@@ -74,101 +141,218 @@ const Entry* ContentStore::find_exact(const ndn::Name& name) const {
 
 void ContentStore::touch(Entry& entry, util::SimTime now) {
   entry.meta.last_access = now;
-  const auto it = entries_.find(entry.data.name);
-  assert(it != entries_.end() && &it->second.entry == &entry);
-  index_access(it->second);
+  Node* node = exact_find(entry.name_hash, entry.data.name);
+  assert(node != nullptr && &node->entry == &entry);
+  index_access(node);
 }
 
 bool ContentStore::erase(const ndn::Name& name) {
-  const auto it = entries_.find(name);
-  if (it == entries_.end()) return false;
-  index_erase(it->second);
-  entries_.erase(it);
+  Node* node = exact_find(name.hash64(), name);
+  if (!node) return false;
+  remove_node(node);
   return true;
+}
+
+void ContentStore::remove_node(Node* node) {
+  index_erase(node);
+
+  // Unregister from every prefix bucket: swap-and-pop, fixing the moved
+  // node's back-pointer for that depth. Depth 0 is all_entries_.
+  {
+    const std::size_t idx = node->prefixes[0].pos;
+    if (idx + 1 != all_entries_.size()) {
+      all_entries_[idx] = all_entries_.back();
+      all_entries_[idx]->prefixes[0].pos = static_cast<std::uint32_t>(idx);
+    }
+    all_entries_.pop_back();
+  }
+  for (std::size_t d = 1; d < node->depth(); ++d) {
+    std::vector<Node*>* bucket =
+        prefix_index_[d].find(node->prefixes[d].hash, [](const std::vector<Node*>&) { return true; });
+    assert(bucket != nullptr);
+    const std::size_t idx = node->prefixes[d].pos;
+    assert(idx < bucket->size() && (*bucket)[idx] == node);
+    if (idx + 1 != bucket->size()) {
+      (*bucket)[idx] = bucket->back();
+      (*bucket)[idx]->prefixes[d].pos = static_cast<std::uint32_t>(idx);
+    }
+    bucket->pop_back();
+    if (bucket->empty())
+      prefix_index_[d].erase(node->prefixes[d].hash,
+                             [](const std::vector<Node*>&) { return true; });
+  }
+
+  bool erased = false;
+  std::unique_ptr<Node> owned = entries_.extract(
+      node->entry.name_hash,
+      [node](const std::unique_ptr<Node>& n) { return n.get() == node; }, &erased);
+  assert(erased && owned.get() == node);
+  (void)erased;
+  free_nodes_.push_back(std::move(owned));  // recycle the allocation
+}
+
+std::unique_ptr<ContentStore::Node> ContentStore::acquire_node() {
+  if (free_nodes_.empty()) return std::make_unique<Node>();
+  std::unique_ptr<Node> node = std::move(free_nodes_.back());
+  free_nodes_.pop_back();
+  return node;
 }
 
 void ContentStore::clear() {
   entries_.clear();
-  order_.clear();
-  by_freq_.clear();
-  by_index_.clear();
+  for (auto& table : prefix_index_) table.clear();
+  all_entries_.clear();
+  order_head_ = order_tail_ = nullptr;
+  lfu_free_all();
 }
 
-bool ContentStore::contains(const ndn::Name& name) const { return entries_.contains(name); }
+bool ContentStore::contains(const ndn::Name& name) const {
+  return exact_find(name.hash64(), name) != nullptr;
+}
 
-void ContentStore::index_insert(const ndn::Name& name, Node& node) {
-  switch (policy_) {
-    case EvictionPolicy::kLru:
-    case EvictionPolicy::kFifo:
-      order_.push_front(name);
-      node.order_it = order_.begin();
-      break;
-    case EvictionPolicy::kLfu:
-      node.freq = 1;
-      node.freq_it = by_freq_.emplace(node.freq, name);
-      break;
-    case EvictionPolicy::kRandom:
-      node.vec_index = by_index_.size();
-      by_index_.push_back(name);
-      break;
+// --- eviction-order maintenance --------------------------------------------
+
+void ContentStore::order_push_front(Node* node) noexcept {
+  node->order_prev = nullptr;
+  node->order_next = order_head_;
+  if (order_head_) order_head_->order_prev = node;
+  order_head_ = node;
+  if (!order_tail_) order_tail_ = node;
+}
+
+void ContentStore::order_unlink(Node* node) noexcept {
+  if (node->order_prev)
+    node->order_prev->order_next = node->order_next;
+  else
+    order_head_ = node->order_next;
+  if (node->order_next)
+    node->order_next->order_prev = node->order_prev;
+  else
+    order_tail_ = node->order_prev;
+  node->order_prev = node->order_next = nullptr;
+}
+
+void ContentStore::lfu_append(FreqBucket* bucket, Node* node) noexcept {
+  node->freq_bucket = bucket;
+  node->freq_prev = bucket->tail;
+  node->freq_next = nullptr;
+  if (bucket->tail)
+    bucket->tail->freq_next = node;
+  else
+    bucket->head = node;
+  bucket->tail = node;
+}
+
+void ContentStore::lfu_detach(Node* node) noexcept {
+  FreqBucket* bucket = node->freq_bucket;
+  if (node->freq_prev)
+    node->freq_prev->freq_next = node->freq_next;
+  else
+    bucket->head = node->freq_next;
+  if (node->freq_next)
+    node->freq_next->freq_prev = node->freq_prev;
+  else
+    bucket->tail = node->freq_prev;
+  node->freq_prev = node->freq_next = nullptr;
+  node->freq_bucket = nullptr;
+  if (!bucket->head) {
+    if (bucket->prev)
+      bucket->prev->next = bucket->next;
+    else
+      freq_head_ = bucket->next;
+    if (bucket->next) bucket->next->prev = bucket->prev;
+    delete bucket;
   }
 }
 
-void ContentStore::index_access(Node& node) {
+void ContentStore::lfu_free_all() noexcept {
+  for (FreqBucket* bucket = freq_head_; bucket != nullptr;) {
+    FreqBucket* next = bucket->next;
+    delete bucket;
+    bucket = next;
+  }
+  freq_head_ = nullptr;
+}
+
+void ContentStore::index_insert(Node* node) {
   switch (policy_) {
     case EvictionPolicy::kLru:
-      order_.splice(order_.begin(), order_, node.order_it);  // move-to-front
+    case EvictionPolicy::kFifo:
+      order_push_front(node);
+      break;
+    case EvictionPolicy::kLfu: {
+      node->freq = 1;
+      if (!freq_head_ || freq_head_->freq != 1) {
+        auto* bucket = new FreqBucket{.freq = 1, .next = freq_head_};
+        if (freq_head_) freq_head_->prev = bucket;
+        freq_head_ = bucket;
+      }
+      lfu_append(freq_head_, node);
+      break;
+    }
+    case EvictionPolicy::kRandom:
+      break;  // all_entries_ (maintained for every policy) is the index
+  }
+}
+
+void ContentStore::index_access(Node* node) {
+  switch (policy_) {
+    case EvictionPolicy::kLru:
+      if (order_head_ != node) {  // move-to-front
+        order_unlink(node);
+        order_push_front(node);
+      }
       break;
     case EvictionPolicy::kFifo:
       break;  // insertion order is immutable
     case EvictionPolicy::kLfu: {
-      const ndn::Name name = node.freq_it->second;
-      by_freq_.erase(node.freq_it);
-      ++node.freq;
-      node.freq_it = by_freq_.emplace(node.freq, name);
-      break;
-    }
-    case EvictionPolicy::kRandom:
-      break;
-  }
-}
-
-void ContentStore::index_erase(Node& node) {
-  switch (policy_) {
-    case EvictionPolicy::kLru:
-    case EvictionPolicy::kFifo:
-      order_.erase(node.order_it);
-      break;
-    case EvictionPolicy::kLfu:
-      by_freq_.erase(node.freq_it);
-      break;
-    case EvictionPolicy::kRandom: {
-      // Swap-and-pop; fix the moved element's back-pointer.
-      const std::size_t idx = node.vec_index;
-      if (idx + 1 != by_index_.size()) {
-        by_index_[idx] = std::move(by_index_.back());
-        const auto moved = entries_.find(by_index_[idx]);
-        assert(moved != entries_.end());
-        moved->second.vec_index = idx;
+      FreqBucket* bucket = node->freq_bucket;
+      const std::uint64_t target = node->freq + 1;
+      // Find-or-create the freq+1 bucket before detaching (detach may
+      // delete `bucket` if the node was its only member).
+      FreqBucket* next = bucket->next;
+      if (!next || next->freq != target) {
+        next = new FreqBucket{.freq = target, .prev = bucket, .next = bucket->next};
+        if (bucket->next) bucket->next->prev = next;
+        bucket->next = next;
       }
-      by_index_.pop_back();
+      lfu_detach(node);
+      node->freq = target;
+      lfu_append(next, node);
       break;
     }
+    case EvictionPolicy::kRandom:
+      break;
   }
 }
 
-ndn::Name ContentStore::pick_victim() {
+void ContentStore::index_erase(Node* node) {
   switch (policy_) {
     case EvictionPolicy::kLru:
     case EvictionPolicy::kFifo:
-      if (order_.empty()) throw std::logic_error("ContentStore: eviction from empty cache");
-      return order_.back();  // LRU tail = least recent; FIFO tail = oldest
+      order_unlink(node);
+      break;
     case EvictionPolicy::kLfu:
-      if (by_freq_.empty()) throw std::logic_error("ContentStore: eviction from empty cache");
-      return by_freq_.begin()->second;
+      lfu_detach(node);
+      break;
     case EvictionPolicy::kRandom:
-      if (by_index_.empty()) throw std::logic_error("ContentStore: eviction from empty cache");
-      return by_index_[rng_.uniform_u64(by_index_.size())];
+      break;  // all_entries_ removal happens in remove_node for all policies
+  }
+}
+
+ContentStore::Node* ContentStore::pick_victim() {
+  switch (policy_) {
+    case EvictionPolicy::kLru:
+    case EvictionPolicy::kFifo:
+      if (!order_tail_) throw std::logic_error("ContentStore: eviction from empty cache");
+      return order_tail_;  // LRU tail = least recent; FIFO tail = oldest
+    case EvictionPolicy::kLfu:
+      if (!freq_head_) throw std::logic_error("ContentStore: eviction from empty cache");
+      return freq_head_->head;
+    case EvictionPolicy::kRandom:
+      if (all_entries_.empty())
+        throw std::logic_error("ContentStore: eviction from empty cache");
+      return all_entries_[rng_.uniform_u64(all_entries_.size())];
   }
   throw std::logic_error("ContentStore: unknown policy");
 }
@@ -179,7 +363,7 @@ void ContentStore::export_metrics(util::MetricsRegistry& registry,
   registry.counter(prefix + ".matches").inc(stats_.matches);
   registry.counter(prefix + ".inserts").inc(stats_.inserts);
   registry.counter(prefix + ".evictions").inc(stats_.evictions);
-  registry.counter(prefix + ".size").inc(entries_.size());
+  registry.counter(prefix + ".size").inc(size());
 }
 
 }  // namespace ndnp::cache

@@ -9,17 +9,39 @@
 // Lookup follows NDN matching: an interest for name N is satisfied by any
 // cached Data whose name has N as a prefix — except exact-match-only
 // content (unpredictable names), which requires full-name equality.
+//
+// Hot-path layout (every probe of the Section III attacks and every
+// replayed interest of Section VII lands here):
+//  - exact matches go through an open-addressing hash index keyed on
+//    Name::hash64(), computed once per entry and cached — no ordered
+//    string-vector comparisons;
+//  - prefix matches go through a per-prefix-depth hash index: an entry of
+//    depth D registers under the hashes of its strict prefixes (one FNV
+//    pass, see Name::prefix_hashes), and an interest of depth p probes
+//    exactly the depth-p bucket — a depth-p entry named exactly like the
+//    interest is covered by the exact index, so full-depth buckets are
+//    never created;
+//  - eviction order is an intrusive doubly-linked list over entry nodes
+//    (LRU/FIFO) or intrusive per-frequency FIFO buckets (LFU) — no
+//    std::list<Name> of name copies;
+//  - the random-eviction index is the depth-0 prefix bucket (the list of
+//    all entries in insertion order with swap-and-pop removal), folded
+//    into the same node storage.
+// The externally observable behavior (match selection, victim choice,
+// stats, RNG consumption) is bit-identical to the original ordered-map
+// implementation; tests/test_cs_differential.cpp proves it against a
+// naive reference model over randomized op streams.
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "ndn/packet.hpp"
 #include "util/metrics.hpp"
+#include "util/open_hash.hpp"
 #include "util/rng.hpp"
 #include "util/sim_time.hpp"
 
@@ -57,6 +79,9 @@ struct EntryMeta {
 struct Entry {
   ndn::Data data;
   EntryMeta meta;
+  /// Cached Name::hash64(data.name); set by ContentStore::insert and never
+  /// recomputed on the lookup/touch path. Treat as read-only.
+  std::uint64_t name_hash = 0;
 
   /// Whether the cached copy is still fresh at `now` (fresh forever when
   /// the producer set no freshness period).
@@ -67,7 +92,9 @@ struct Entry {
 };
 
 /// Raw cache counters (mechanical; privacy-visible hit/miss accounting is
-/// done a layer up where the policy decides what to expose).
+/// done a layer up where the policy decides what to expose). Each find()
+/// bumps `lookups` exactly once — the internal exact-index fast path and
+/// the prefix-bucket fallback are one lookup, not two.
 struct CacheStats {
   std::uint64_t lookups = 0;
   std::uint64_t matches = 0;
@@ -84,6 +111,8 @@ class ContentStore {
 
   ContentStore(const ContentStore&) = delete;
   ContentStore& operator=(const ContentStore&) = delete;
+
+  ~ContentStore();
 
   /// Insert (or overwrite) content. Evicts per policy if at capacity.
   /// Returns the stored entry. `meta.inserted_at`/`last_access` should be
@@ -118,7 +147,7 @@ class ContentStore {
   void clear();
 
   [[nodiscard]] bool contains(const ndn::Name& name) const;
-  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return all_entries_.size(); }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] bool unbounded() const noexcept { return capacity_ == 0; }
   [[nodiscard]] EvictionPolicy policy() const noexcept { return policy_; }
@@ -128,36 +157,99 @@ class ContentStore {
   /// "cs.lookups"). Adds the current totals; call once per snapshot.
   void export_metrics(util::MetricsRegistry& registry, const std::string& prefix) const;
 
-  /// Iterate over all entries (test/diagnostic use).
+  /// Iterate over all entries (test/diagnostic use). Order is insertion
+  /// order perturbed by swap-and-pop removals — deterministic for a given
+  /// op sequence, but not sorted by name.
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (const auto& [name, node] : entries_) fn(node.entry);
+    for (const Node* node : all_entries_) fn(node->entry);
   }
 
  private:
-  struct Node {
-    Entry entry;
-    // Handle into the eviction structure appropriate for the policy:
-    std::list<ndn::Name>::iterator order_it{};            // LRU / FIFO
-    std::multimap<std::uint64_t, ndn::Name>::iterator freq_it{};  // LFU
-    std::size_t vec_index = 0;                             // Random
-    std::uint64_t freq = 0;                                // LFU count
+  struct FreqBucket;
+
+  /// Per-depth registration record: the hash of the entry name's depth-d
+  /// prefix (computed once at insert, one FNV pass for all depths) and the
+  /// node's current index inside that depth's bucket (maintained by
+  /// swap-and-pop; pos of depth 0 indexes all_entries_).
+  struct PrefixRef {
+    std::uint64_t hash = 0;
+    std::uint32_t pos = 0;
   };
 
-  void index_insert(const ndn::Name& name, Node& node);
-  void index_access(Node& node);
-  void index_erase(Node& node);
-  [[nodiscard]] ndn::Name pick_victim();
+  struct Node {
+    Entry entry;
+    /// prefixes[d] for d in [0, depth]; prefixes.back().hash duplicates
+    /// entry.name_hash.
+    std::vector<PrefixRef> prefixes;
+    // Intrusive LRU/FIFO list (head = MRU / newest insertion).
+    Node* order_prev = nullptr;
+    Node* order_next = nullptr;
+    // Intrusive LFU frequency bucket membership (FIFO within a bucket).
+    Node* freq_prev = nullptr;
+    Node* freq_next = nullptr;
+    FreqBucket* freq_bucket = nullptr;
+    std::uint64_t freq = 0;
+
+    [[nodiscard]] std::size_t depth() const noexcept { return prefixes.size() - 1; }
+  };
+
+  /// LFU frequency buckets, ascending by freq, each holding its nodes in
+  /// bump order (head = least recently promoted into this frequency).
+  /// Victim = head of the first bucket — the same entry a
+  /// std::multimap<freq, name>::begin() scan would name.
+  struct FreqBucket {
+    std::uint64_t freq = 0;
+    Node* head = nullptr;
+    Node* tail = nullptr;
+    FreqBucket* prev = nullptr;
+    FreqBucket* next = nullptr;
+  };
+
+  [[nodiscard]] Node* exact_find(std::uint64_t hash, const ndn::Name& name) const noexcept;
+  void index_insert(Node* node);
+  void index_access(Node* node);
+  void index_erase(Node* node);
+  void remove_node(Node* node);
+  [[nodiscard]] Node* pick_victim();
+
+  // Intrusive-list helpers.
+  void order_push_front(Node* node) noexcept;
+  void order_unlink(Node* node) noexcept;
+  void lfu_append(FreqBucket* bucket, Node* node) noexcept;
+  void lfu_detach(Node* node) noexcept;
+  void lfu_free_all() noexcept;
+
+  [[nodiscard]] std::unique_ptr<Node> acquire_node();
 
   std::size_t capacity_;
   EvictionPolicy policy_;
   util::Rng rng_;
-  // Ordered map: names sharing a prefix are contiguous, so prefix lookup is
-  // lower_bound + adjacency check, O(log n).
-  std::map<ndn::Name, Node> entries_;
-  std::list<ndn::Name> order_;                       // LRU (front = MRU) / FIFO (front = newest)
-  std::multimap<std::uint64_t, ndn::Name> by_freq_;  // LFU (begin = coldest)
-  std::vector<ndn::Name> by_index_;                  // Random
+  /// Exact-match index and owner of all nodes, keyed by full-name hash.
+  util::OpenHashTable<std::unique_ptr<Node>> entries_;
+  /// Recycled nodes (bounded by the historical peak entry count): the
+  /// steady-state insert+evict loop reuses the victim's allocation —
+  /// including its PrefixRef vector capacity — instead of hitting the
+  /// allocator every cycle.
+  std::vector<std::unique_ptr<Node>> free_nodes_;
+  /// Scratch for insert(): prefix hashes of the incoming name, filled by
+  /// one visit_prefix_hashes pass without allocating per call.
+  std::vector<PrefixRef> scratch_prefixes_;
+  /// prefix_index_[d] (d >= 1): hash-of-depth-d-prefix -> bucket of nodes
+  /// whose name has that *strict* prefix (entries of depth exactly d are
+  /// only in entries_; the exact fast path finds them). Hash collisions
+  /// may mix prefixes in one bucket; find() filters candidates through
+  /// Data::satisfies, so a collision costs a comparison, never a wrong
+  /// answer.
+  std::vector<util::OpenHashTable<std::vector<Node*>>> prefix_index_;
+  /// Every node, in insertion order with swap-and-pop removal. Serves the
+  /// depth-0 (root prefix) lookups and doubles as the random-eviction
+  /// index — identical order and RNG consumption to the historical
+  /// by_index_ vector.
+  std::vector<Node*> all_entries_;
+  Node* order_head_ = nullptr;  // LRU/FIFO: front = MRU / newest
+  Node* order_tail_ = nullptr;  // LRU tail = least recent; FIFO tail = oldest
+  FreqBucket* freq_head_ = nullptr;  // LFU: lowest frequency bucket
   CacheStats stats_;
 };
 

@@ -121,19 +121,16 @@ std::string Name::to_uri() const {
 }
 
 std::uint64_t Name::hash64() const noexcept {
-  // FNV-1a over length-delimited components; the delimiter byte keeps
-  // {"ab","c"} distinct from {"a","bc"}.
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
-  for (const auto& component : components_) {
-    for (const char ch : component) {
-      h ^= static_cast<std::uint8_t>(ch);
-      h *= kPrime;
-    }
-    h ^= 0xffULL;  // component boundary marker (components never contain 0xff in practice)
-    h *= kPrime;
-  }
-  return h;
+  std::uint64_t out = kFnvOffsetBasis;
+  visit_prefix_hashes([&out](std::uint64_t h) { out = h; });
+  return out;
+}
+
+std::vector<std::uint64_t> Name::prefix_hashes() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(components_.size() + 1);
+  visit_prefix_hashes([&out](std::uint64_t h) { out.push_back(h); });
+  return out;
 }
 
 void Name::validate_component(std::string_view component) {

@@ -66,12 +66,42 @@ class Name {
   /// as a deterministic key independent of libstdc++'s std::hash.
   [[nodiscard]] std::uint64_t hash64() const noexcept;
 
+  /// All prefix hashes in one pass: out[d] == prefix(d).hash64() for every
+  /// depth d in [0, size()], so out.back() == hash64(). FNV-1a is
+  /// prefix-incremental, so this costs the same as one hash64() call; the
+  /// CS/PIT hash indices use it to register an entry under every prefix
+  /// depth without rehashing (hashes are then cached per entry).
+  [[nodiscard]] std::vector<std::uint64_t> prefix_hashes() const;
+
+  /// Allocation-free form of prefix_hashes(): calls fn(h) once per depth
+  /// d = 0..size() with h == prefix(d).hash64(), in increasing depth
+  /// order. Inline so hot paths fold hashing into their own fill loop.
+  template <typename Fn>
+  void visit_prefix_hashes(Fn&& fn) const {
+    std::uint64_t h = kFnvOffsetBasis;
+    fn(h);
+    for (const auto& component : components_) {
+      // FNV-1a over length-delimited components; the delimiter byte keeps
+      // {"ab","c"} distinct from {"a","bc"}.
+      for (const char ch : component) {
+        h ^= static_cast<std::uint8_t>(ch);
+        h *= kFnvPrime;
+      }
+      h ^= 0xffULL;  // boundary marker (components never contain 0xff in practice)
+      h *= kFnvPrime;
+      fn(h);
+    }
+  }
+
   friend bool operator==(const Name&, const Name&) = default;
   friend std::strong_ordering operator<=>(const Name& a, const Name& b) noexcept {
     return a.components_ <=> b.components_;
   }
 
  private:
+  static constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
   static void validate_component(std::string_view component);
 
   std::vector<std::string> components_;

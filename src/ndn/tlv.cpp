@@ -116,7 +116,13 @@ Name decode_name(std::span<const std::uint8_t> wire) {
             "expected NameComponent TLV");
     components.emplace_back(component.value.begin(), component.value.end());
   }
-  return Name(std::move(components));
+  try {
+    return Name(std::move(components));
+  } catch (const std::invalid_argument&) {
+    // Wire carried a component violating Name invariants (empty, or a '/'
+    // byte). Per the header contract, malformed input throws TlvError.
+    throw TlvError("Name TLV with invalid component");
+  }
 }
 
 Buffer encode(const Interest& interest) {

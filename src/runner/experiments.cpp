@@ -250,7 +250,8 @@ TheoryValidationResult run_theory_validation(const TheoryValidationConfig& confi
         const std::size_t r = ctx.run_index;
         const std::int64_t c = config.cs[r / 2];
         const bool expo = (r % 2) != 0;
-        const std::uint64_t seed = (expo ? 2000 : 1000) + static_cast<std::uint64_t>(r);
+        const std::uint64_t seed =
+            config.seed_base + (expo ? 2000 : 1000) + static_cast<std::uint64_t>(r);
         TheoryUtilityRow row;
         row.c = c;
         if (expo) {

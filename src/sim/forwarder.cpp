@@ -47,11 +47,25 @@ void Forwarder::receive_nack(const ndn::Nack& nack, FaceId in_face) {
                           [this, nack, in_face] { handle_nack(nack, in_face); });
 }
 
+Forwarder::PitEntry* Forwarder::pit_find(std::uint64_t name_hash,
+                                         const ndn::Name& name) noexcept {
+  return pit_.find(name_hash,
+                   [&name](const PitEntry& entry) { return entry.first_interest.name == name; });
+}
+
+bool Forwarder::pit_erase(std::uint64_t name_hash, const ndn::Name& name) noexcept {
+  return pit_.erase(name_hash,
+                    [&name](const PitEntry& entry) { return entry.first_interest.name == name; });
+}
+
 void Forwarder::handle_interest(const ndn::Interest& interest, FaceId in_face) {
+  // One hash per packet: every PIT probe below reuses it.
+  const std::uint64_t name_hash = interest.name.hash64();
+
   // Loop suppression: a nonce already recorded for this name means the
   // interest circled back.
-  if (auto pit_it = pit_.find(interest.name); pit_it != pit_.end()) {
-    if (pit_it->second.nonces.contains(interest.nonce)) {
+  if (PitEntry* pending = pit_find(name_hash, interest.name)) {
+    if (pending->nonces.contains(interest.nonce)) {
       ++stats_.nonce_drops;
       return;
     }
@@ -86,22 +100,22 @@ void Forwarder::handle_interest(const ndn::Interest& interest, FaceId in_face) {
   }
 
   // 2. PIT: collapse onto an existing pending interest for the same name.
-  if (auto pit_it = pit_.find(interest.name); pit_it != pit_.end()) {
-    PitEntry& entry = pit_it->second;
-    entry.nonces.insert(interest.nonce);
+  if (PitEntry* entry = pit_find(name_hash, interest.name)) {
+    entry->nonces.insert(interest.nonce);
     const bool known_face =
-        std::any_of(entry.downstreams.begin(), entry.downstreams.end(),
+        std::any_of(entry->downstreams.begin(), entry->downstreams.end(),
                     [in_face](const Downstream& d) { return d.face == in_face; });
-    if (!known_face) entry.downstreams.push_back({.face = in_face, .arrived_at = now()});
+    if (!known_face) entry->downstreams.push_back({.face = in_face, .arrived_at = now()});
     ++stats_.collapsed_interests;
     return;
   }
 
   // 3. Forward upstream per FIB, creating a PIT entry.
-  forward_interest(interest, in_face);
+  forward_interest(interest, in_face, name_hash);
 }
 
-void Forwarder::forward_interest(const ndn::Interest& interest, FaceId in_face) {
+void Forwarder::forward_interest(const ndn::Interest& interest, FaceId in_face,
+                                 std::uint64_t name_hash) {
   // Scope: the field counts NDN entities the interest may traverse, source
   // included. An honoring router that received the interest with scope <= 2
   // is the last allowed entity and must not forward.
@@ -144,8 +158,10 @@ void Forwarder::forward_interest(const ndn::Interest& interest, FaceId in_face) 
   entry.created_at = now();
   entry.version = next_pit_version_++;
   const std::uint64_t version = entry.version;
-  pit_.emplace(interest.name, std::move(entry));
-  schedule_pit_timeout(interest.name, version,
+  pit_.emplace(name_hash, std::move(entry), [&interest](const PitEntry& existing) {
+    return existing.first_interest.name == interest.name;
+  });
+  schedule_pit_timeout(interest.name, name_hash, version,
                        interest.lifetime.value_or(config_.pit_timeout));
 
   for (const FaceId next_hop : next_hops) {
@@ -157,12 +173,19 @@ void Forwarder::forward_interest(const ndn::Interest& interest, FaceId in_face) 
 void Forwarder::handle_data(const ndn::Data& data, FaceId) {
   // Gather every PIT entry this Data satisfies: PIT keys are interest
   // names, which must be prefixes of the data name, so only the
-  // size()+1 prefixes of data.name are candidates.
-  std::vector<std::map<ndn::Name, PitEntry>::iterator> matches;
+  // size()+1 prefixes of data.name are candidates. One FNV pass yields
+  // all candidate hashes; the probe compares against the stored interest
+  // name in place, so no prefix Name is ever materialized.
+  const std::vector<std::uint64_t> prefix_hashes = data.name.prefix_hashes();
+  std::vector<std::pair<std::uint64_t, PitEntry*>> matches;
   for (std::size_t len = 0; len <= data.name.size(); ++len) {
-    const auto it = pit_.find(data.name.prefix(len));
-    if (it != pit_.end() && data.satisfies(it->second.first_interest))
-      matches.push_back(it);
+    PitEntry* entry =
+        pit_.find(prefix_hashes[len], [&data, len](const PitEntry& candidate) {
+          return candidate.first_interest.name.size() == len &&
+                 candidate.first_interest.name.is_prefix_of(data.name);
+        });
+    if (entry != nullptr && data.satisfies(entry->first_interest))
+      matches.push_back({prefix_hashes[len], entry});
   }
   if (matches.empty()) {
     // NDN rule: content is never forwarded (nor cached) without a
@@ -184,36 +207,36 @@ void Forwarder::handle_data(const ndn::Data& data, FaceId) {
   } else {
     // The earliest-created matching PIT entry defines the fetch delay
     // (interest-in -> content-out) and the marking cause.
-    const auto earliest = *std::min_element(
-        matches.begin(), matches.end(), [](const auto& a, const auto& b) {
-          return a->second.created_at < b->second.created_at;
-        });
+    const PitEntry* earliest =
+        std::min_element(matches.begin(), matches.end(), [](const auto& a, const auto& b) {
+          return a.second->created_at < b.second->created_at;
+        })->second;
     cache::EntryMeta meta;
     meta.inserted_at = now();
     meta.last_access = now();
-    meta.fetch_delay = now() - earliest->second.created_at;
+    meta.fetch_delay = now() - earliest->created_at;
     cache::Entry& entry = cs_.insert(data, meta);
-    core::init_privacy_marking(entry, earliest->second.first_interest);
-    policy_->on_insert(entry, earliest->second.first_interest, now());
+    core::init_privacy_marking(entry, earliest->first_interest);
+    policy_->on_insert(entry, earliest->first_interest, now());
   }
 
   // Forward downstream and flush the satisfied PIT entries. The policy may
   // pad the miss response (constant-gamma Always-Delay equalizes fast
   // misses with delayed hits); padding is per PIT entry since each has its
   // own interest-in time.
-  for (const auto& it : matches) {
+  for (const auto& [match_hash, match] : matches) {
     const bool treated_private =
-        data.producer_marked_private() || it->second.first_interest.private_req;
-    const util::SimDuration fetch_delay = now() - it->second.created_at;
+        data.producer_marked_private() || match->first_interest.private_req;
+    const util::SimDuration fetch_delay = now() - match->created_at;
     const util::SimDuration miss_pad =
         policy_->miss_response_delay(fetch_delay, treated_private) - fetch_delay;
-    for (const Downstream& downstream : it->second.downstreams) {
+    for (const Downstream& downstream : match->downstreams) {
       util::SimDuration pad = miss_pad;
       if (config_.pad_collapsed_private && treated_private &&
-          downstream.arrived_at > it->second.created_at) {
+          downstream.arrived_at > match->created_at) {
         // Make the collapsed requester wait as long as a fresh fetch
         // started at its own arrival would have taken.
-        pad = std::max(pad, downstream.arrived_at - it->second.created_at);
+        pad = std::max(pad, downstream.arrived_at - match->created_at);
       }
       if (pad > 0) {
         const ndn::Data copy = data;
@@ -224,7 +247,10 @@ void Forwarder::handle_data(const ndn::Data& data, FaceId) {
       }
       ++stats_.data_forwarded;
     }
-    pit_.erase(it);
+    // Tombstone deletion: the other matches' PitEntry pointers stay valid.
+    pit_.erase(match_hash, [entry = match](const PitEntry& candidate) {
+      return &candidate == entry;
+    });
   }
 }
 
@@ -233,13 +259,14 @@ void Forwarder::handle_nack(const ndn::Nack& nack, FaceId) {
   // downstream face and flush the PIT entry. (With multicast strategies a
   // sibling next hop may still answer; we keep the simple semantics of
   // first-signal-wins, which matches best-route.)
-  const auto it = pit_.find(nack.interest.name);
-  if (it == pit_.end()) return;
-  for (const Downstream& downstream : it->second.downstreams) {
+  const std::uint64_t name_hash = nack.interest.name.hash64();
+  PitEntry* entry = pit_find(name_hash, nack.interest.name);
+  if (!entry) return;
+  for (const Downstream& downstream : entry->downstreams) {
     ++stats_.nacks_sent;
     send_nack(downstream.face, nack);
   }
-  pit_.erase(it);
+  pit_erase(name_hash, nack.interest.name);
 }
 
 Forwarder::FibEntry* Forwarder::fib_lookup(const ndn::Name& name) {
@@ -279,12 +306,12 @@ std::vector<FaceId> Forwarder::select_next_hops(FibEntry& entry, FaceId in_face)
   return out;
 }
 
-void Forwarder::schedule_pit_timeout(const ndn::Name& name, std::uint64_t version,
-                                     util::SimDuration lifetime) {
-  scheduler().schedule_in(lifetime, [this, name, version] {
-    const auto it = pit_.find(name);
-    if (it != pit_.end() && it->second.version == version) {
-      pit_.erase(it);
+void Forwarder::schedule_pit_timeout(const ndn::Name& name, std::uint64_t name_hash,
+                                     std::uint64_t version, util::SimDuration lifetime) {
+  scheduler().schedule_in(lifetime, [this, name, name_hash, version] {
+    const PitEntry* entry = pit_find(name_hash, name);
+    if (entry != nullptr && entry->version == version) {
+      pit_erase(name_hash, name);
       ++stats_.pit_expirations;
     }
   });

@@ -25,6 +25,7 @@
 #include "cache/content_store.hpp"
 #include "core/policy.hpp"
 #include "sim/node.hpp"
+#include "util/open_hash.hpp"
 
 namespace ndnp::sim {
 
@@ -123,6 +124,9 @@ class Forwarder final : public Node {
     util::SimTime arrived_at = util::kTimeUnset;
   };
 
+  /// PIT entries are keyed by interest name through an open-addressing
+  /// hash index (util::OpenHashTable) on Name::hash64() — the name itself
+  /// lives in first_interest.name, so the hash table stores no name copy.
   struct PitEntry {
     ndn::Interest first_interest;
     std::vector<Downstream> downstreams;
@@ -139,17 +143,23 @@ class Forwarder final : public Node {
   void handle_interest(const ndn::Interest& interest, FaceId in_face);
   void handle_data(const ndn::Data& data, FaceId in_face);
   void handle_nack(const ndn::Nack& nack, FaceId in_face);
-  void forward_interest(const ndn::Interest& interest, FaceId in_face);
+  /// `name_hash` is Name::hash64(interest.name), computed once per packet
+  /// by the caller and threaded through so the PIT never rehashes.
+  void forward_interest(const ndn::Interest& interest, FaceId in_face,
+                        std::uint64_t name_hash);
+  /// Exact-name PIT lookup/erase by cached hash.
+  [[nodiscard]] PitEntry* pit_find(std::uint64_t name_hash, const ndn::Name& name) noexcept;
+  bool pit_erase(std::uint64_t name_hash, const ndn::Name& name) noexcept;
   [[nodiscard]] FibEntry* fib_lookup(const ndn::Name& name);
   /// Pick outgoing faces per the strategy, excluding the arrival face.
   [[nodiscard]] std::vector<FaceId> select_next_hops(FibEntry& entry, FaceId in_face);
-  void schedule_pit_timeout(const ndn::Name& name, std::uint64_t version,
-                            util::SimDuration lifetime);
+  void schedule_pit_timeout(const ndn::Name& name, std::uint64_t name_hash,
+                            std::uint64_t version, util::SimDuration lifetime);
 
   ForwarderConfig config_;
   cache::ContentStore cs_;
   std::unique_ptr<core::CachePrivacyPolicy> policy_;
-  std::map<ndn::Name, PitEntry> pit_;
+  util::OpenHashTable<PitEntry> pit_;
   std::map<ndn::Name, FibEntry> fib_;
   std::uint64_t next_pit_version_ = 0;
   ForwarderStats stats_;

@@ -163,6 +163,64 @@ TEST(ContentStore, StatsCountLookups) {
   EXPECT_EQ(cs.stats().inserts, 1u);
 }
 
+// Regression: pin the exact counter values for a scripted op sequence that
+// walks every find() path — exact fast path, prefix fallback after a
+// missing/stale exact entry, plain miss. In particular, a find that falls
+// back from the exact index to the prefix index is ONE lookup and at most
+// ONE match; the internal two-stage probe must never double-count.
+TEST(ContentStore, StatsRegressionScriptedSequence) {
+  ContentStore cs(3, EvictionPolicy::kLru);
+
+  cs.insert(make_content("/a/b/c"), meta_at(1));  // inserts=1
+  ndn::Data stale = make_content("/a/b");
+  stale.freshness_period = 5;  // fresh until t=6 (inserted at t=2)
+  cs.insert(std::move(stale), meta_at(2));        // inserts=2
+  cs.insert(make_content("/z"), meta_at(3));      // inserts=3
+
+  // 1. Exact fast-path hit.
+  EXPECT_NE(cs.find(interest_for("/a/b/c")), nullptr);  // lookups=1 matches=1
+  // 2. Prefix-then-exact fallback: no entry named "/a", but "/a/b" and
+  //    "/a/b/c" both match; lexicographically smallest ("/a/b") wins.
+  const Entry* prefix_hit = cs.find(interest_for("/a"));  // lookups=2 matches=2
+  ASSERT_NE(prefix_hit, nullptr);
+  EXPECT_EQ(prefix_hit->data.name, ndn::Name("/a/b"));
+  // 3. Stale exact entry skipped under MustBeFresh, deeper fresh entry
+  //    found by the prefix fallback — still one lookup, one match.
+  ndn::Interest fresh_ab = interest_for("/a/b");
+  fresh_ab.must_be_fresh = true;
+  const Entry* fallback = cs.find(fresh_ab, /*now=*/10);  // lookups=3 matches=3
+  ASSERT_NE(fallback, nullptr);
+  EXPECT_EQ(fallback->data.name, ndn::Name("/a/b/c"));
+  // 4. Same interest with no fresh match anywhere: one lookup, no match.
+  ndn::Interest fresh_z = interest_for("/z");
+  fresh_z.must_be_fresh = true;
+  EXPECT_NE(cs.find(fresh_z, /*now=*/10), nullptr);  // lookups=4 matches=4 (no freshness set)
+  ndn::Interest miss = interest_for("/nope");
+  EXPECT_EQ(cs.find(miss), nullptr);  // lookups=5, matches stay 4
+  // 5. find_exact / contains are NOT lookups (no stats side effects).
+  EXPECT_NE(cs.find_exact(ndn::Name("/z")), nullptr);
+  EXPECT_TRUE(cs.contains(ndn::Name("/z")));
+  // 6. Overwrite counts as an insert but never evicts.
+  cs.insert(make_content("/z"), meta_at(11));  // inserts=4 evictions=0
+  // 7. Insert at capacity evicts exactly once.
+  cs.insert(make_content("/w"), meta_at(12));  // inserts=5 evictions=1
+
+  EXPECT_EQ(cs.stats().lookups, 5u);
+  EXPECT_EQ(cs.stats().matches, 4u);
+  EXPECT_EQ(cs.stats().inserts, 5u);
+  EXPECT_EQ(cs.stats().evictions, 1u);
+
+  // export_metrics publishes the same counters (plus size) untouched.
+  util::MetricsRegistry registry;
+  cs.export_metrics(registry, "cs");
+  const util::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("cs.lookups"), 5u);
+  EXPECT_EQ(snap.counters.at("cs.matches"), 4u);
+  EXPECT_EQ(snap.counters.at("cs.inserts"), 5u);
+  EXPECT_EQ(snap.counters.at("cs.evictions"), 1u);
+  EXPECT_EQ(snap.counters.at("cs.size"), 3u);
+}
+
 TEST(ContentStore, PolicyToString) {
   EXPECT_EQ(to_string(EvictionPolicy::kLru), "LRU");
   EXPECT_EQ(to_string(EvictionPolicy::kFifo), "FIFO");

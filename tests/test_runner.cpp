@@ -116,21 +116,10 @@ TEST(Runner, SweepRethrowsWorkerExceptions) {
 }
 
 // ---------------------------------------------------------------------------
-// Golden vectors: the ported Figure 5(a) sweep must reproduce the
-// single-threaded outputs exactly (tolerance 0), for 3 fixed seeds.
-
-runner::Fig5aConfig golden_config(std::uint64_t replay_seed) {
-  runner::Fig5aConfig config;
-  config.trace_requests = 10'000;
-  config.trace_objects = 10'000;
-  config.replay_seed = replay_seed;
-  return config;
-}
-
-std::filesystem::path golden_path(std::uint64_t replay_seed) {
-  return std::filesystem::path(NDNP_SOURCE_ROOT) / "tests" / "golden" /
-         ("fig5a_seed" + std::to_string(replay_seed) + ".txt");
-}
+// Jobs-invariance: parallel sweeps must merge to byte-identical results
+// regardless of worker count. (The pinned golden *vectors* for these
+// experiments live in test_golden.cpp / the ndnp_golden_tests binary;
+// these tests stay here so the ThreadSanitizer CI job races them.)
 
 std::string read_file(const std::filesystem::path& path) {
   std::ifstream in(path);
@@ -140,26 +129,15 @@ std::string read_file(const std::filesystem::path& path) {
   return buffer.str();
 }
 
-TEST(RunnerGolden, Fig5aMatchesSingleThreadedGoldenVectors) {
-  for (const std::uint64_t seed : {99ULL, 7ULL, 2025ULL}) {
-    const runner::Fig5aResult result = runner::run_fig5a(golden_config(seed));
-    const std::string table = result.format_table();
-    const std::filesystem::path path = golden_path(seed);
-    std::string expected = read_file(path);
-    if (expected.empty() && std::getenv("NDNP_REGEN_GOLDEN")) {
-      std::filesystem::create_directories(path.parent_path());
-      std::ofstream(path) << table;
-      expected = table;
-    }
-    ASSERT_FALSE(expected.empty())
-        << "missing golden vector " << path
-        << " (regenerate with NDNP_REGEN_GOLDEN=1, single-threaded)";
-    EXPECT_EQ(table, expected) << "seed " << seed << " diverged from the locked-in "
-                               << "single-threaded output (tolerance is 0, not epsilon)";
-  }
+runner::Fig5aConfig golden_config(std::uint64_t replay_seed) {
+  runner::Fig5aConfig config;
+  config.trace_requests = 10'000;
+  config.trace_objects = 10'000;
+  config.replay_seed = replay_seed;
+  return config;
 }
 
-TEST(RunnerGolden, Fig5aByteIdenticalAcrossJobs) {
+TEST(RunnerJobsInvariance, Fig5aByteIdenticalAcrossJobs) {
   runner::Fig5aConfig config = golden_config(99);
   const std::string jobs1 = runner::run_fig5a(config).format_table();
   config.jobs = 4;
@@ -173,7 +151,7 @@ TEST(RunnerGolden, Fig5aByteIdenticalAcrossJobs) {
   EXPECT_EQ(runner::run_fig5a(config).merged_json(), result8.merged_json());
 }
 
-TEST(RunnerGolden, Fig4aAndTheoryByteIdenticalAcrossJobs) {
+TEST(RunnerJobsInvariance, Fig4aAndTheoryByteIdenticalAcrossJobs) {
   runner::Fig4aConfig fig4a;
   const std::string fig4a_serial = runner::run_fig4a(fig4a).format_table();
   fig4a.jobs = 8;
