@@ -4,6 +4,9 @@
 #include <cstring>
 
 #include "runner/runner.hpp"
+#include "sim/trace_sinks.hpp"
+#include "util/logging.hpp"
+#include "util/tracing.hpp"
 
 namespace ndnp::bench {
 
@@ -15,24 +18,79 @@ std::size_t scale_from_env(const char* var, std::size_t fallback) {
   return fallback;
 }
 
-std::size_t parse_jobs(int argc, char** argv) {
-  std::size_t jobs = scale_from_env("NDNP_JOBS", 1);
+namespace {
+
+void bench_usage(std::FILE* out, const char* argv0) {
+  std::fprintf(out,
+               "usage: %s [--jobs N] [--trace-out PATH] [--trace-filter PREFIX]\n"
+               "          [--log-level error|warn|info|debug|trace]\n"
+               "\n"
+               "  --jobs N              sweep worker threads (0 = all hardware threads;\n"
+               "                        env NDNP_JOBS supplies the default)\n"
+               "  --trace-out PATH      write a flight-recorder capture; a .jsonl suffix\n"
+               "                        selects the JSONL event dump (readable by\n"
+               "                        trace_inspect), anything else the Chrome\n"
+               "                        trace-event JSON for Perfetto\n"
+               "  --trace-filter PREFIX capture only events whose content name starts\n"
+               "                        with PREFIX\n"
+               "  --log-level L         stderr logging threshold (default: warn)\n",
+               argv0);
+}
+
+}  // namespace
+
+runner::SweepTraceCapture* BenchOptions::configure(runner::SweepTraceCapture& capture) const {
+  if (!tracing_requested()) return nullptr;
+  capture.out_path = trace_out;
+  capture.filter = trace_filter;
+  capture.ring_capacity = trace_capacity;
+  return &capture;
+}
+
+BenchOptions parse_bench_options(int argc, char** argv) {
+  BenchOptions options;
+  options.jobs = scale_from_env("NDNP_JOBS", 1);
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      char* end = nullptr;
-      const unsigned long long value = std::strtoull(argv[++i], &end, 10);
-      if (end == argv[i] || *end != '\0') {
-        std::fprintf(stderr, "%s: --jobs expects a number, got '%s'\n", argv[0], argv[i]);
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        bench_usage(stderr, argv[0]);
         std::exit(2);
       }
-      jobs = runner::resolve_jobs(static_cast<std::size_t>(value));
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      const char* value = next();
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(value, &end, 10);
+      if (end == value || *end != '\0') {
+        std::fprintf(stderr, "%s: --jobs expects a number, got '%s'\n", argv[0], value);
+        std::exit(2);
+      }
+      options.jobs = runner::resolve_jobs(static_cast<std::size_t>(parsed));
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      options.trace_out = next();
+    } else if (std::strcmp(argv[i], "--trace-filter") == 0) {
+      options.trace_filter = next();
+    } else if (std::strcmp(argv[i], "--log-level") == 0) {
+      const char* value = next();
+      util::LogLevel level;
+      if (!util::parse_log_level(value, level)) {
+        std::fprintf(stderr, "%s: unknown log level '%s'\n", argv[0], value);
+        std::exit(2);
+      }
+      util::set_log_level(level);
+    } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      bench_usage(stdout, argv[0]);
+      std::exit(0);
     } else {
-      std::fprintf(stderr, "usage: %s [--jobs N]\n", argv[0]);
+      bench_usage(stderr, argv[0]);
       std::exit(2);
     }
   }
-  return jobs;
+  return options;
 }
+
+std::size_t parse_jobs(int argc, char** argv) { return parse_bench_options(argc, argv).jobs; }
 
 void report_jobs(std::size_t jobs, double wall_seconds) {
   std::fprintf(stderr, "[sweep] jobs=%zu wall=%.3fs\n", jobs, wall_seconds);
@@ -48,13 +106,23 @@ void print_footer() { std::printf("\n"); }
 
 void run_and_print_timing_figure(const std::string& figure, const std::string& description,
                                  const attack::TimingAttackConfig& config,
-                                 const std::string& paper_claim) {
+                                 const std::string& paper_claim, const BenchOptions& options) {
   print_header(figure, description);
   std::printf("trials=%zu contents/trial=%zu seed=%llu mode=%s\n\n", config.trials,
               config.contents_per_trial, static_cast<unsigned long long>(config.seed),
               config.producer_mode ? "producer-probe (double fetch)" : "consumer-probe");
 
-  const attack::TimingAttackResult result = attack::run_timing_attack(config);
+  // When tracing is requested the attack runs under a bound flight
+  // recorder; the tracer only observes, so the printed tables are
+  // byte-identical either way (golden tests pin this).
+  util::Tracer tracer(options.trace_capacity);
+  tracer.set_filter(options.trace_filter);
+  attack::TimingAttackResult result;
+  {
+    util::TracerBinding binding(options.tracing_requested() ? &tracer : nullptr);
+    result = attack::run_timing_attack(config);
+  }
+  if (!options.trace_out.empty()) sim::write_trace_file(tracer, options.trace_out);
 
   std::printf("RTT distributions (probability density, as in the paper's PDF plots):\n");
   const auto [hit_hist, miss_hist] =

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "attack/timing_attack.hpp"
+#include "runner/runner.hpp"
 
 namespace ndnp::bench {
 
@@ -17,10 +18,38 @@ namespace ndnp::bench {
 /// scale_from_env("NDNP_TRACE_REQUESTS", 200'000).
 [[nodiscard]] std::size_t scale_from_env(const char* var, std::size_t fallback);
 
-/// Parse the shared bench flags: `--jobs N` (0 = all hardware threads;
-/// the NDNP_JOBS env var supplies the default). Exits with usage on
-/// unknown arguments. Runner-ported benches produce byte-identical stdout
-/// for every jobs value — parallelism is reported on stderr only.
+/// Shared bench command line:
+///   --jobs N              sweep worker threads (0 = all hardware threads;
+///                         env NDNP_JOBS supplies the default)
+///   --trace-out PATH      flight-recorder capture; ".jsonl" = JSONL event
+///                         dump (trace_inspect reads it), else Chrome
+///                         trace-event JSON for Perfetto
+///   --trace-filter PREFIX capture only events whose content name starts
+///                         with PREFIX
+///   --log-level L         stderr logging threshold (error|warn|info|
+///                         debug|trace, default warn)
+/// Capturing never changes bench output — golden vectors stay byte-
+/// identical with tracing on, off, or compiled out.
+struct BenchOptions {
+  std::size_t jobs = 1;
+  std::string trace_out;
+  std::string trace_filter;
+  std::size_t trace_capacity = 1u << 20;
+
+  /// Whether any tracing flag was given.
+  [[nodiscard]] bool tracing_requested() const noexcept {
+    return !trace_out.empty() || !trace_filter.empty();
+  }
+  /// Fill `capture` from these options and return &capture, or nullptr
+  /// when no tracing flag was given (assign the result to config.capture).
+  runner::SweepTraceCapture* configure(runner::SweepTraceCapture& capture) const;
+};
+
+/// Parse the shared flags above; exits with usage on unknown arguments
+/// (--help prints it to stdout and exits 0).
+[[nodiscard]] BenchOptions parse_bench_options(int argc, char** argv);
+
+/// Back-compat shim: parse the shared flags and return just the jobs count.
 [[nodiscard]] std::size_t parse_jobs(int argc, char** argv);
 
 /// Report sweep parallelism/wall-clock on stderr (stdout stays canonical).
@@ -30,9 +59,13 @@ void print_header(const std::string& figure, const std::string& what);
 void print_footer();
 
 /// Run a Figure-3 style timing experiment and print the PDF table plus the
-/// distinguishing probabilities.
+/// distinguishing probabilities. When `options` asks for tracing, the
+/// attack runs under a bound flight recorder and the capture (adversary
+/// probes + router cache/policy ground truth — trace_inspect joins them)
+/// is written to options.trace_out.
 void run_and_print_timing_figure(const std::string& figure, const std::string& description,
                                  const attack::TimingAttackConfig& config,
-                                 const std::string& paper_claim);
+                                 const std::string& paper_claim,
+                                 const BenchOptions& options = {});
 
 }  // namespace ndnp::bench

@@ -6,8 +6,9 @@
 // samples). The paper distinguishes the two with probability > 99.9 %.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ndnp;
+  const bench::BenchOptions options = bench::parse_bench_options(argc, argv);
   attack::TimingAttackConfig config;
   config.trials = bench::scale_from_env("NDNP_TIMING_TRIALS", 50);
   config.contents_per_trial = bench::scale_from_env("NDNP_TIMING_CONTENTS", 20);
@@ -15,6 +16,6 @@ int main() {
   config.seed = 1;
   bench::run_and_print_timing_figure(
       "Figure 3(a)", "LAN: cache hit vs miss RTT distributions at the shared first-hop router",
-      config, "Adv determines cache state with probability over 99.9%");
+      config, "Adv determines cache state with probability over 99.9%", options);
   return 0;
 }

@@ -6,8 +6,9 @@
 // distinguishes hit from miss with probability > 99 %.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ndnp;
+  const bench::BenchOptions options = bench::parse_bench_options(argc, argv);
   attack::TimingAttackConfig config;
   config.trials = bench::scale_from_env("NDNP_TIMING_TRIALS", 50);
   config.contents_per_trial = bench::scale_from_env("NDNP_TIMING_CONTENTS", 20);
@@ -15,6 +16,6 @@ int main() {
   config.seed = 2;
   bench::run_and_print_timing_figure(
       "Figure 3(b)", "WAN: multi-hop consumers, producer three hops past the probed router",
-      config, "Adv determines cache state with probability over 99%");
+      config, "Adv determines cache state with probability over 99%", options);
   return 0;
 }

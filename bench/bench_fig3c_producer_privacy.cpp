@@ -8,8 +8,9 @@
 // fragment-amplification bench shows how Adv recovers.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ndnp;
+  const bench::BenchOptions options = bench::parse_bench_options(argc, argv);
   attack::TimingAttackConfig config;
   config.trials = bench::scale_from_env("NDNP_TIMING_TRIALS", 50);
   config.contents_per_trial = bench::scale_from_env("NDNP_TIMING_CONTENTS", 20);
@@ -19,6 +20,6 @@ int main() {
   bench::run_and_print_timing_figure(
       "Figure 3(c)",
       "WAN producer privacy: P adjacent to R, consumers far away, double-fetch probe", config,
-      "Adv distinguishes with ~59% probability from a single content object");
+      "Adv distinguishes with ~59% probability from a single content object", options);
   return 0;
 }

@@ -6,8 +6,9 @@
 // even more evident than in the network settings.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ndnp;
+  const bench::BenchOptions options = bench::parse_bench_options(argc, argv);
   attack::TimingAttackConfig config;
   config.trials = bench::scale_from_env("NDNP_TIMING_TRIALS", 50);
   config.contents_per_trial = bench::scale_from_env("NDNP_TIMING_CONTENTS", 20);
@@ -16,6 +17,6 @@ int main() {
   bench::run_and_print_timing_figure(
       "Figure 3(d)",
       "Local host: malicious app probing the node-local daemon cache over IPC", config,
-      "hit/miss difference even more evident than in network settings (~100% success)");
+      "hit/miss difference even more evident than in network settings (~100% success)", options);
   return 0;
 }

@@ -18,12 +18,15 @@
 
 int main(int argc, char** argv) {
   using namespace ndnp;
-  const std::size_t jobs = bench::parse_jobs(argc, argv);
+  const bench::BenchOptions options = bench::parse_bench_options(argc, argv);
+  const std::size_t jobs = options.jobs;
   bench::print_header("Figure 4(a)",
                       "utility vs number of requests, Uniform vs Exponential (delta = 0.05)");
 
   runner::Fig4aConfig config;
   config.jobs = jobs;
+  runner::SweepTraceCapture capture;
+  config.capture = options.configure(capture);
   runner::Fig4aResult result;
   try {
     result = runner::run_fig4a(config);

@@ -18,13 +18,16 @@
 
 int main(int argc, char** argv) {
   using namespace ndnp;
-  const std::size_t jobs = bench::parse_jobs(argc, argv);
+  const bench::BenchOptions options = bench::parse_bench_options(argc, argv);
+  const std::size_t jobs = options.jobs;
   bench::print_header("Figure 5(a)", "cache hit rates by scheme and cache size (trace replay)");
 
   runner::Fig5aConfig config;
   config.trace_requests = bench::scale_from_env("NDNP_TRACE_REQUESTS", 200'000);
   config.trace_objects = bench::scale_from_env("NDNP_TRACE_OBJECTS", 200'000);
   config.jobs = jobs;
+  runner::SweepTraceCapture capture;
+  config.capture = options.configure(capture);
 
   runner::Fig5aResult result;
   try {

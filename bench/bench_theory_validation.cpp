@@ -13,12 +13,15 @@
 
 int main(int argc, char** argv) {
   using namespace ndnp;
-  const std::size_t jobs = bench::parse_jobs(argc, argv);
+  const bench::BenchOptions options = bench::parse_bench_options(argc, argv);
+  const std::size_t jobs = options.jobs;
   bench::print_header("Theorems VI.1-VI.4", "Monte-Carlo validation of the closed forms");
 
   runner::TheoryValidationConfig config;
   config.trials = bench::scale_from_env("NDNP_THEORY_TRIALS", 200'000);
   config.jobs = jobs;
+  runner::SweepTraceCapture capture;
+  config.capture = options.configure(capture);
   const runner::TheoryValidationResult result = runner::run_theory_validation(config);
 
   std::printf("Utility (Theorems VI.2 / VI.4): E[M(c)] closed form vs %zu-trial simulation\n\n",

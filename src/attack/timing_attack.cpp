@@ -4,6 +4,8 @@
 #include <optional>
 #include <stdexcept>
 
+#include "util/tracing.hpp"
+
 namespace ndnp::attack {
 
 namespace {
@@ -78,18 +80,34 @@ TimingAttackResult run_timing_attack(const TimingAttackConfig& config) {
       if (config.producer_mode) {
         // Figure 3(c): probe the same content twice. The first fetch finds
         // it uncached (miss sample); the second finds it at R (hit sample).
-        result.miss_rtts_ms.add(util::to_millis(
-            fetch_blocking(*scenario->adversary, scheduler, fresh_name)));
-        result.hit_rtts_ms.add(util::to_millis(
-            fetch_blocking(*scenario->adversary, scheduler, fresh_name)));
+        const util::SimDuration miss_rtt =
+            fetch_blocking(*scenario->adversary, scheduler, fresh_name);
+        NDNP_TRACE_EVENT(util::TraceEventType::kAttackProbe, scenario->adversary->name(),
+                         scheduler.now(), fresh_name.to_uri(), "truth=miss", -1, miss_rtt,
+                         static_cast<std::int64_t>(result.miss_rtts_ms.size()));
+        result.miss_rtts_ms.add(util::to_millis(miss_rtt));
+        const util::SimDuration hit_rtt =
+            fetch_blocking(*scenario->adversary, scheduler, fresh_name);
+        NDNP_TRACE_EVENT(util::TraceEventType::kAttackProbe, scenario->adversary->name(),
+                         scheduler.now(), fresh_name.to_uri(), "truth=hit", -1, hit_rtt,
+                         static_cast<std::int64_t>(result.hit_rtts_ms.size()));
+        result.hit_rtts_ms.add(util::to_millis(hit_rtt));
       } else {
         // Figures 3(a,b,d): victim U fetches first, caching at R; the
         // adversary then probes that content (hit) and a fresh one (miss).
         (void)fetch_blocking(*scenario->user, scheduler, cached_name);
-        result.hit_rtts_ms.add(util::to_millis(
-            fetch_blocking(*scenario->adversary, scheduler, cached_name)));
-        result.miss_rtts_ms.add(util::to_millis(
-            fetch_blocking(*scenario->adversary, scheduler, fresh_name)));
+        const util::SimDuration hit_rtt =
+            fetch_blocking(*scenario->adversary, scheduler, cached_name);
+        NDNP_TRACE_EVENT(util::TraceEventType::kAttackProbe, scenario->adversary->name(),
+                         scheduler.now(), cached_name.to_uri(), "truth=hit", -1, hit_rtt,
+                         static_cast<std::int64_t>(result.hit_rtts_ms.size()));
+        result.hit_rtts_ms.add(util::to_millis(hit_rtt));
+        const util::SimDuration miss_rtt =
+            fetch_blocking(*scenario->adversary, scheduler, fresh_name);
+        NDNP_TRACE_EVENT(util::TraceEventType::kAttackProbe, scenario->adversary->name(),
+                         scheduler.now(), fresh_name.to_uri(), "truth=miss", -1, miss_rtt,
+                         static_cast<std::int64_t>(result.miss_rtts_ms.size()));
+        result.miss_rtts_ms.add(util::to_millis(miss_rtt));
       }
     }
   }
@@ -133,9 +151,15 @@ double run_decision_protocol(const TimingAttackConfig& config) {
     const bool requested = coin.bernoulli(0.5);
     if (requested) (void)fetch_blocking(*scenario->user, scheduler, target);
 
-    const double d1 =
-        util::to_millis(fetch_blocking(*scenario->adversary, scheduler, target));
+    const util::SimDuration probe_rtt =
+        fetch_blocking(*scenario->adversary, scheduler, target);
+    const double d1 = util::to_millis(probe_rtt);
     const bool verdict = std::abs(d1 - hit_ref) < std::abs(d1 - miss_ref);
+    NDNP_TRACE_EVENT(util::TraceEventType::kAttackProbe, scenario->adversary->name(),
+                     scheduler.now(), target.to_uri(),
+                     std::string("truth=") + (requested ? "hit" : "miss") +
+                         " inferred=" + (verdict ? "hit" : "miss"),
+                     -1, probe_rtt, static_cast<std::int64_t>(trial));
     if (verdict == requested) ++correct;
   }
   return static_cast<double>(correct) / static_cast<double>(config.trials);

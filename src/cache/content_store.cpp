@@ -3,7 +3,25 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "util/tracing.hpp"
+
 namespace ndnp::cache {
+
+namespace {
+
+/// Detail string for a cs_lookup event; built only when a tracer is live.
+[[nodiscard]] std::string lookup_detail(const Entry* entry, bool saw_stale, std::size_t depth,
+                                        EvictionPolicy policy) {
+  std::string detail = "result=";
+  detail += entry != nullptr ? "hit" : (saw_stale ? "expired" : "miss");
+  detail += " depth=";
+  detail += std::to_string(depth);
+  detail += " policy=";
+  detail += to_string(policy);
+  return detail;
+}
+
+}  // namespace
 
 std::string_view to_string(EvictionPolicy policy) noexcept {
   switch (policy) {
@@ -43,7 +61,10 @@ Entry& ContentStore::insert(ndn::Data data, EntryMeta meta) {
   }
 
   if (!unbounded() && size() >= capacity_) {
-    remove_node(pick_victim());
+    Node* victim = pick_victim();
+    NDNP_TRACE_EVENT(util::TraceEventType::kCsEvict, trace_label_, meta.inserted_at,
+                     victim->entry.data.name.to_uri(), "reason=capacity");
+    remove_node(victim);
     ++stats_.evictions;
   }
 
@@ -81,10 +102,23 @@ Entry& ContentStore::insert(ndn::Data data, EntryMeta meta) {
   assert(inserted);
   (void)slot;
   (void)inserted;
+  NDNP_TRACE_EVENT(util::TraceEventType::kCsInsert, trace_label_, meta.inserted_at,
+                   raw->entry.data.name.to_uri(),
+                   "size=" + std::to_string(size()) + " cap=" + std::to_string(capacity_));
   return raw->entry;
 }
 
 Entry* ContentStore::find(const ndn::Interest& interest, util::SimTime now) {
+  bool saw_stale = false;
+  Entry* entry = find_impl(interest, now, saw_stale);
+  NDNP_TRACE_EVENT(util::TraceEventType::kCsLookup, trace_label_,
+                   now == util::kTimeUnset ? util::kTimeZero : now, interest.name.to_uri(),
+                   lookup_detail(entry, saw_stale, interest.name.size(), policy_));
+  return entry;
+}
+
+Entry* ContentStore::find_impl(const ndn::Interest& interest, util::SimTime now,
+                               bool& saw_stale) {
   ++stats_.lookups;
   const bool check_freshness = interest.must_be_fresh && now != util::kTimeUnset;
   const std::uint64_t hash = interest.name.hash64();
@@ -97,6 +131,7 @@ Entry* ContentStore::find(const ndn::Interest& interest, util::SimTime now) {
       ++stats_.matches;
       return &node->entry;
     }
+    saw_stale = true;
   }
 
   // Prefix path: every *strictly deeper* candidate sits in the bucket
@@ -118,7 +153,10 @@ Entry* ContentStore::find(const ndn::Interest& interest, util::SimTime now) {
     // satisfies() re-checks the prefix relation, which also screens out
     // hash-collision strangers sharing this bucket.
     if (!node->entry.data.satisfies(interest)) continue;
-    if (check_freshness && !node->entry.fresh_at(now)) continue;
+    if (check_freshness && !node->entry.fresh_at(now)) {
+      saw_stale = true;
+      continue;
+    }
     if (!best || node->entry.data.name < best->entry.data.name) best = node;
   }
   if (!best) return nullptr;
@@ -149,6 +187,11 @@ void ContentStore::touch(Entry& entry, util::SimTime now) {
 bool ContentStore::erase(const ndn::Name& name) {
   Node* node = exact_find(name.hash64(), name);
   if (!node) return false;
+  NDNP_TRACE_EVENT(util::TraceEventType::kCsEvict, trace_label_,
+                   node->entry.meta.last_access != util::kTimeUnset
+                       ? node->entry.meta.last_access
+                       : node->entry.meta.inserted_at,
+                   node->entry.data.name.to_uri(), "reason=erase");
   remove_node(node);
   return true;
 }

@@ -133,6 +133,11 @@ class ContentStore {
   [[nodiscard]] const Entry* find(const ndn::Interest& interest,
                                   util::SimTime now = util::kTimeUnset) const;
 
+  /// Node label used for cs_lookup/cs_insert/cs_evict trace events (the
+  /// owning forwarder sets its node name; default "cs").
+  void set_trace_label(std::string label) { trace_label_ = std::move(label); }
+  [[nodiscard]] const std::string& trace_label() const noexcept { return trace_label_; }
+
   /// Exact full-name lookup.
   [[nodiscard]] Entry* find_exact(const ndn::Name& name);
   [[nodiscard]] const Entry* find_exact(const ndn::Name& name) const;
@@ -206,6 +211,8 @@ class ContentStore {
     FreqBucket* next = nullptr;
   };
 
+  [[nodiscard]] Entry* find_impl(const ndn::Interest& interest, util::SimTime now,
+                                 bool& saw_stale);
   [[nodiscard]] Node* exact_find(std::uint64_t hash, const ndn::Name& name) const noexcept;
   void index_insert(Node* node);
   void index_access(Node* node);
@@ -251,6 +258,7 @@ class ContentStore {
   Node* order_tail_ = nullptr;  // LRU tail = least recent; FIFO tail = oldest
   FreqBucket* freq_head_ = nullptr;  // LFU: lowest frequency bucket
   CacheStats stats_;
+  std::string trace_label_ = "cs";
 };
 
 }  // namespace ndnp::cache

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/tracing.hpp"
+
 namespace ndnp::core {
 
 std::string_view to_string(RequestOutcome::Kind kind) noexcept {
@@ -26,11 +28,15 @@ CachePrivacyEngine::CachePrivacyEngine(std::size_t cache_capacity,
   if (!policy_) throw std::invalid_argument("CachePrivacyEngine: null policy");
   if (admission_probability_ < 0.0 || admission_probability_ > 1.0)
     throw std::invalid_argument("CachePrivacyEngine: admission probability must be in [0,1]");
+  store_.set_trace_label("engine");
+  policy_->set_trace_label("engine");
 }
 
 RequestOutcome CachePrivacyEngine::handle(const ndn::Interest& interest, util::SimTime now,
                                           const FetchFn& fetch) {
   ++stats_.requests;
+  NDNP_TRACE_EVENT(util::TraceEventType::kInterestRx, "engine", now, interest.name.to_uri(),
+                   interest.private_req ? "private=1" : "private=0");
 
   if (cache::Entry* entry = store_.find(interest)) {
     const bool effective_private = resolve_effective_privacy(*entry, interest);
@@ -67,6 +73,8 @@ RequestOutcome CachePrivacyEngine::handle(const ndn::Interest& interest, util::S
   // asymmetry).
   ++stats_.true_misses;
   auto [data, fetch_delay] = fetch(interest);
+  NDNP_TRACE_EVENT(util::TraceEventType::kDataRx, "engine", now, data.name.to_uri(),
+                   "from=upstream", -1, fetch_delay);
   if (admission_probability_ < 1.0 && !rng_.bernoulli(admission_probability_)) {
     const bool would_be_private = data.producer_marked_private() || interest.private_req;
     return {.kind = RequestOutcome::Kind::kTrueMiss,

@@ -10,9 +10,11 @@ namespace ndnp::core {
 
 void NoPrivacyPolicy::on_insert(cache::Entry&, const ndn::Interest&, util::SimTime) {}
 
-LookupDecision NoPrivacyPolicy::on_cached_lookup(cache::Entry&, const ndn::Interest&, bool,
-                                                 util::SimTime) {
-  return {.action = LookupAction::kExposeHit, .artificial_delay = 0};
+LookupDecision NoPrivacyPolicy::on_cached_lookup(cache::Entry& entry, const ndn::Interest&,
+                                                 bool effective_private, util::SimTime now) {
+  const LookupDecision decision{.action = LookupAction::kExposeHit, .artificial_delay = 0};
+  trace_decision(entry, decision, effective_private, now);
+  return decision;
 }
 
 std::unique_ptr<CachePrivacyPolicy> NoPrivacyPolicy::clone() const {
@@ -53,27 +55,33 @@ AlwaysDelayPolicy AlwaysDelayPolicy::dynamic(DynamicDelayParams params) {
 void AlwaysDelayPolicy::on_insert(cache::Entry&, const ndn::Interest&, util::SimTime) {}
 
 LookupDecision AlwaysDelayPolicy::on_cached_lookup(cache::Entry& entry, const ndn::Interest&,
-                                                   bool effective_private, util::SimTime) {
-  if (!effective_private) return {.action = LookupAction::kExposeHit, .artificial_delay = 0};
-  switch (mode_) {
-    case DelayMode::kConstant:
-      return {.action = LookupAction::kDelayedHit, .artificial_delay = gamma_};
-    case DelayMode::kContentSpecific:
-      return {.action = LookupAction::kDelayedHit,
-              .artificial_delay = entry.meta.fetch_delay};
-    case DelayMode::kDynamic: {
-      // Shrink toward the two-hop floor as popularity grows: requests for
-      // popular content would plausibly be served by a nearby cache anyway.
-      ++entry.meta.request_count;
-      const double scaled =
-          static_cast<double>(entry.meta.fetch_delay) *
-          std::pow(dynamic_.decay, static_cast<double>(entry.meta.request_count));
-      const auto delay =
-          std::max(dynamic_.two_hop_floor, static_cast<util::SimDuration>(scaled));
-      return {.action = LookupAction::kDelayedHit, .artificial_delay = delay};
+                                                   bool effective_private, util::SimTime now) {
+  LookupDecision decision{.action = LookupAction::kExposeHit, .artificial_delay = 0};
+  if (effective_private) {
+    switch (mode_) {
+      case DelayMode::kConstant:
+        decision = {.action = LookupAction::kDelayedHit, .artificial_delay = gamma_};
+        break;
+      case DelayMode::kContentSpecific:
+        decision = {.action = LookupAction::kDelayedHit,
+                    .artificial_delay = entry.meta.fetch_delay};
+        break;
+      case DelayMode::kDynamic: {
+        // Shrink toward the two-hop floor as popularity grows: requests for
+        // popular content would plausibly be served by a nearby cache anyway.
+        ++entry.meta.request_count;
+        const double scaled =
+            static_cast<double>(entry.meta.fetch_delay) *
+            std::pow(dynamic_.decay, static_cast<double>(entry.meta.request_count));
+        const auto delay =
+            std::max(dynamic_.two_hop_floor, static_cast<util::SimDuration>(scaled));
+        decision = {.action = LookupAction::kDelayedHit, .artificial_delay = delay};
+        break;
+      }
     }
   }
-  return {.action = LookupAction::kExposeHit, .artificial_delay = 0};
+  trace_decision(entry, decision, effective_private, now);
+  return decision;
 }
 
 util::SimDuration AlwaysDelayPolicy::miss_response_delay(util::SimDuration fetch_delay,
@@ -105,12 +113,19 @@ void NaiveThresholdPolicy::on_insert(cache::Entry& entry, const ndn::Interest&, 
 }
 
 LookupDecision NaiveThresholdPolicy::on_cached_lookup(cache::Entry& entry, const ndn::Interest&,
-                                                      bool effective_private, util::SimTime) {
-  if (!effective_private) return {.action = LookupAction::kExposeHit, .artificial_delay = 0};
+                                                      bool effective_private, util::SimTime now) {
+  if (!effective_private) {
+    const LookupDecision decision{.action = LookupAction::kExposeHit, .artificial_delay = 0};
+    trace_decision(entry, decision, effective_private, now);
+    return decision;
+  }
   ++entry.meta.request_count;
-  if (static_cast<std::int64_t>(entry.meta.request_count) <= k_)
-    return {.action = LookupAction::kSimulatedMiss, .artificial_delay = 0};
-  return {.action = LookupAction::kExposeHit, .artificial_delay = 0};
+  const auto count = static_cast<std::int64_t>(entry.meta.request_count);
+  const LookupDecision decision{.action = count <= k_ ? LookupAction::kSimulatedMiss
+                                                      : LookupAction::kExposeHit,
+                                .artificial_delay = 0};
+  trace_decision(entry, decision, effective_private, now, count, k_);
+  return decision;
 }
 
 std::unique_ptr<CachePrivacyPolicy> NaiveThresholdPolicy::clone() const {
@@ -181,8 +196,12 @@ void RandomCachePolicy::on_insert(cache::Entry& entry, const ndn::Interest&, uti
 }
 
 LookupDecision RandomCachePolicy::on_cached_lookup(cache::Entry& entry, const ndn::Interest&,
-                                                   bool effective_private, util::SimTime) {
-  if (!effective_private) return {.action = LookupAction::kExposeHit, .artificial_delay = 0};
+                                                   bool effective_private, util::SimTime now) {
+  if (!effective_private) {
+    const LookupDecision decision{.action = LookupAction::kExposeHit, .artificial_delay = 0};
+    trace_decision(entry, decision, effective_private, now);
+    return decision;
+  }
   std::int64_t count = 0;
   std::int64_t threshold = 0;
   if (grouping_ == Grouping::kNone) {
@@ -195,9 +214,11 @@ LookupDecision RandomCachePolicy::on_cached_lookup(cache::Entry& entry, const nd
     threshold = it->second.threshold;
   }
   // Algorithm 1 lines 10-14.
-  if (count <= threshold)
-    return {.action = LookupAction::kSimulatedMiss, .artificial_delay = 0};
-  return {.action = LookupAction::kExposeHit, .artificial_delay = 0};
+  const LookupDecision decision{.action = count <= threshold ? LookupAction::kSimulatedMiss
+                                                             : LookupAction::kExposeHit,
+                                .artificial_delay = 0};
+  trace_decision(entry, decision, effective_private, now, count, threshold);
+  return decision;
 }
 
 std::unique_ptr<CachePrivacyPolicy> RandomCachePolicy::clone() const {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <string_view>
 
 #include "cache/content_store.hpp"
@@ -69,6 +70,22 @@ class CachePrivacyPolicy {
     (void)registry;
     (void)prefix;
   }
+
+  /// Node label stamped on policy_decision trace events (the owning
+  /// forwarder/engine sets its node name; default "policy").
+  void set_trace_label(std::string label) { trace_label_ = std::move(label); }
+  [[nodiscard]] const std::string& trace_label() const noexcept { return trace_label_; }
+
+ protected:
+  /// Record a policy_decision trace event (no-op unless a tracer is bound
+  /// and enabled). `c`/`k` are the Algorithm-1 counter and threshold when
+  /// the policy keeps them; pass -1 when not applicable.
+  void trace_decision(const cache::Entry& entry, const LookupDecision& decision,
+                      bool effective_private, util::SimTime now, std::int64_t c = -1,
+                      std::int64_t k = -1) const;
+
+ private:
+  std::string trace_label_ = "policy";
 };
 
 // ---------------------------------------------------------------------------

@@ -92,6 +92,7 @@ Fig5aResult run_fig5a(const Fig5aConfig& config) {
   const std::size_t num_sizes = config.cache_sizes.size();
   SweepOptions options;
   options.jobs = config.jobs;
+  options.capture = config.capture;
   options.master_seed = config.replay_seed;
   const std::vector<util::MetricsSnapshot> cells =
       run_sweep<util::MetricsSnapshot>(schemes.size() * num_sizes, options,
@@ -166,6 +167,7 @@ Fig4aResult run_fig4a(const Fig4aConfig& config) {
 
   SweepOptions options;
   options.jobs = config.jobs;
+  options.capture = config.capture;
   const std::vector<Fig4aRow> rows = run_sweep<Fig4aRow>(
       result.blocks.size() * c_values.size(), options, [&](const RunContext& ctx) {
         const Fig4aBlock& block = result.blocks[ctx.run_index / c_values.size()];
@@ -242,6 +244,7 @@ TheoryValidationResult run_theory_validation(const TheoryValidationConfig& confi
 
   SweepOptions options;
   options.jobs = config.jobs;
+  options.capture = config.capture;
 
   // Utility rows, interleaved (uniform, expo) per c with the original
   // bench's per-row seeds: row r draws from seed (r odd ? 2000 : 1000) + r.

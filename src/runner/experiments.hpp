@@ -46,6 +46,8 @@ struct Fig5aConfig {
   /// 0 = unlimited (the paper's "Inf" column).
   std::vector<std::size_t> cache_sizes = {2'000, 4'000, 8'000, 16'000, 32'000, 0};
   std::size_t jobs = 1;
+  /// Optional per-cell flight-recorder capture (not owned).
+  SweepTraceCapture* capture = nullptr;
 };
 
 struct Fig5aResult {
@@ -84,6 +86,8 @@ struct Fig4aConfig {
   std::int64_t c_max = 100;
   std::int64_t c_step = 5;
   std::size_t jobs = 1;
+  /// Optional per-cell flight-recorder capture (not owned).
+  SweepTraceCapture* capture = nullptr;
 };
 
 struct Fig4aRow {
@@ -122,6 +126,8 @@ struct TheoryValidationConfig {
   std::vector<std::int64_t> cs = {5, 20, 80};  // utility section
   std::vector<std::int64_t> xs = {1, 3, 5};    // privacy section
   std::size_t jobs = 1;
+  /// Optional per-run flight-recorder capture (not owned).
+  SweepTraceCapture* capture = nullptr;
 };
 
 struct TheoryUtilityRow {

@@ -3,7 +3,38 @@
 #include <chrono>
 #include <mutex>
 
+#include "sim/trace_sinks.hpp"
+
 namespace ndnp::runner {
+
+void SweepTraceCapture::prepare(std::size_t num_runs) {
+  if (runs.size() == num_runs) return;
+  runs.clear();
+  runs.reserve(num_runs);
+  for (std::size_t i = 0; i < num_runs; ++i) {
+    auto tracer = std::make_unique<util::Tracer>(ring_capacity);
+    tracer->set_filter(filter);
+    runs.push_back(std::move(tracer));
+  }
+}
+
+std::string SweepTraceCapture::run_path(std::size_t run_index) const {
+  if (runs.size() <= 1) return out_path;
+  // Splice ".runN" in front of the extension so the format sniffing in
+  // write_trace_file still sees it: trace.jsonl -> trace.run3.jsonl.
+  const std::size_t slash = out_path.find_last_of('/');
+  const std::size_t dot = out_path.find_last_of('.');
+  const std::string tag = ".run" + std::to_string(run_index);
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash))
+    return out_path + tag;
+  return out_path.substr(0, dot) + tag + out_path.substr(dot);
+}
+
+void SweepTraceCapture::write_files() const {
+  if (out_path.empty()) return;
+  for (std::size_t i = 0; i < runs.size(); ++i)
+    sim::write_trace_file(*runs[i], run_path(i));
+}
 
 std::uint64_t run_seed(std::uint64_t master_seed, std::size_t run_index) noexcept {
   // i-th state of SplitMix64(master_seed) by random access, then the

@@ -22,11 +22,13 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "util/metrics.hpp"
+#include "util/tracing.hpp"
 
 namespace ndnp::runner {
 
@@ -48,10 +50,45 @@ struct RunContext {
   std::uint64_t seed = 0;
 };
 
+/// Per-run flight-recorder capture for a sweep (--trace-out plumbing).
+///
+/// Each run gets its own util::Tracer, bound to that run's worker thread
+/// for the duration of the run — tracers are single-threaded, runs are
+/// independent, and the tracer only observes, so captures cannot perturb
+/// the sweep's deterministic results (golden tests enforce this).
+struct SweepTraceCapture {
+  /// Output path; ".jsonl" selects the JSONL exporter, anything else the
+  /// Chrome trace-event format. Multi-run sweeps write one file per run
+  /// with ".runN" spliced in before the extension. Empty = capture in
+  /// memory only (inspect via `runs` after the sweep).
+  std::string out_path;
+  /// Name-prefix filter forwarded to every run's tracer (--trace-filter).
+  std::string filter;
+  /// Ring capacity per run (0 = keep every event).
+  std::size_t ring_capacity = 1u << 20;
+  /// One tracer per run, in run-index order; populated by prepare().
+  std::vector<std::unique_ptr<util::Tracer>> runs;
+
+  /// Allocate a tracer per run. Called by run_sweep; idempotent for a
+  /// given run count.
+  void prepare(std::size_t num_runs);
+  [[nodiscard]] util::Tracer* run_tracer(std::size_t run_index) noexcept {
+    return run_index < runs.size() ? runs[run_index].get() : nullptr;
+  }
+  /// Path run `run_index`'s capture is written to (out_path, with ".runN"
+  /// spliced in when the sweep has several runs).
+  [[nodiscard]] std::string run_path(std::size_t run_index) const;
+  /// Export every run's capture (no-op when out_path is empty).
+  void write_files() const;
+};
+
 struct SweepOptions {
   /// Worker threads; 0 and 1 both mean "run inline on the calling thread".
   std::size_t jobs = 1;
   std::uint64_t master_seed = 1;
+  /// When set, every run records into its own tracer and captures are
+  /// exported after the sweep. Not owned; must outlive the sweep call.
+  SweepTraceCapture* capture = nullptr;
 };
 
 /// Clamp a user-supplied --jobs value: 0 -> hardware_concurrency.
@@ -73,14 +110,24 @@ void parallel_for(std::size_t num_tasks, std::size_t jobs,
 template <typename R, typename Fn>
 std::vector<R> run_sweep(std::size_t num_runs, const SweepOptions& options, Fn&& fn) {
   std::vector<R> results(num_runs);
+  if (options.capture != nullptr) options.capture->prepare(num_runs);
   detail::parallel_for(num_runs, options.jobs, [&](std::size_t i) {
     RunContext ctx;
     ctx.run_index = i;
     ctx.num_runs = num_runs;
     ctx.master_seed = options.master_seed;
     ctx.seed = run_seed(options.master_seed, i);
-    results[i] = fn(ctx);
+    if (options.capture != nullptr) {
+      // Bind this run's tracer to the worker for the run's duration; any
+      // binding active on the calling thread is restored afterwards (the
+      // jobs<=1 path runs inline).
+      util::TracerBinding binding(options.capture->run_tracer(i));
+      results[i] = fn(ctx);
+    } else {
+      results[i] = fn(ctx);
+    }
   });
+  if (options.capture != nullptr) options.capture->write_files();
   return results;
 }
 

@@ -4,6 +4,7 @@
 
 #include "core/policies.hpp"
 #include "util/logging.hpp"
+#include "util/tracing.hpp"
 
 namespace ndnp::sim {
 
@@ -12,7 +13,10 @@ Forwarder::Forwarder(Scheduler& scheduler, std::string name, ForwarderConfig con
     : Node(scheduler, std::move(name), config.seed),
       config_(config),
       cs_(config.cs_capacity, config.eviction, config.seed ^ 0x9e3779b97f4a7c15ULL),
-      policy_(policy ? std::move(policy) : std::make_unique<core::NoPrivacyPolicy>()) {}
+      policy_(policy ? std::move(policy) : std::make_unique<core::NoPrivacyPolicy>()) {
+  cs_.set_trace_label(this->name());
+  policy_->set_trace_label(this->name());
+}
 
 std::string_view to_string(ForwardingStrategy strategy) noexcept {
   switch (strategy) {
@@ -31,18 +35,25 @@ void Forwarder::add_route(const ndn::Name& prefix, FaceId next_hop) {
 
 void Forwarder::receive_interest(const ndn::Interest& interest, FaceId in_face) {
   ++stats_.interests_received;
+  NDNP_TRACE_EVENT(util::TraceEventType::kInterestRx, name(), now(), interest.name.to_uri(),
+                   interest.private_req ? "private=1" : "private=0",
+                   static_cast<std::int64_t>(in_face));
   scheduler().schedule_in(config_.processing_delay,
                           [this, interest, in_face] { handle_interest(interest, in_face); });
 }
 
 void Forwarder::receive_data(const ndn::Data& data, FaceId in_face) {
   ++stats_.data_received;
+  NDNP_TRACE_EVENT(util::TraceEventType::kDataRx, name(), now(), data.name.to_uri(), {},
+                   static_cast<std::int64_t>(in_face));
   scheduler().schedule_in(config_.processing_delay,
                           [this, data, in_face] { handle_data(data, in_face); });
 }
 
 void Forwarder::receive_nack(const ndn::Nack& nack, FaceId in_face) {
   ++stats_.nacks_received;
+  NDNP_TRACE_EVENT(util::TraceEventType::kNackRx, name(), now(), nack.interest.name.to_uri(),
+                   {}, static_cast<std::int64_t>(in_face));
   scheduler().schedule_in(config_.processing_delay,
                           [this, nack, in_face] { handle_nack(nack, in_face); });
 }
@@ -59,6 +70,7 @@ bool Forwarder::pit_erase(std::uint64_t name_hash, const ndn::Name& name) noexce
 }
 
 void Forwarder::handle_interest(const ndn::Interest& interest, FaceId in_face) {
+  NDNP_TRACE_SCOPE(name().c_str(), "forwarder", "handle_interest");
   // One hash per packet: every PIT probe below reuses it.
   const std::uint64_t name_hash = interest.name.hash64();
 
@@ -107,6 +119,9 @@ void Forwarder::handle_interest(const ndn::Interest& interest, FaceId in_face) {
                     [in_face](const Downstream& d) { return d.face == in_face; });
     if (!known_face) entry->downstreams.push_back({.face = in_face, .arrived_at = now()});
     ++stats_.collapsed_interests;
+    NDNP_TRACE_EVENT(util::TraceEventType::kPitAggregate, name(), now(),
+                     interest.name.to_uri(), {}, static_cast<std::int64_t>(in_face), 0,
+                     static_cast<std::int64_t>(entry->downstreams.size()));
     return;
   }
 
@@ -161,6 +176,8 @@ void Forwarder::forward_interest(const ndn::Interest& interest, FaceId in_face,
   pit_.emplace(name_hash, std::move(entry), [&interest](const PitEntry& existing) {
     return existing.first_interest.name == interest.name;
   });
+  NDNP_TRACE_EVENT(util::TraceEventType::kPitCreate, name(), now(), interest.name.to_uri(),
+                   {}, static_cast<std::int64_t>(in_face));
   schedule_pit_timeout(interest.name, name_hash, version,
                        interest.lifetime.value_or(config_.pit_timeout));
 
@@ -171,6 +188,7 @@ void Forwarder::forward_interest(const ndn::Interest& interest, FaceId in_face,
 }
 
 void Forwarder::handle_data(const ndn::Data& data, FaceId) {
+  NDNP_TRACE_SCOPE(name().c_str(), "forwarder", "handle_data");
   // Gather every PIT entry this Data satisfies: PIT keys are interest
   // names, which must be prefixes of the data name, so only the
   // size()+1 prefixes of data.name are candidates. One FNV pass yields
@@ -228,6 +246,9 @@ void Forwarder::handle_data(const ndn::Data& data, FaceId) {
     const bool treated_private =
         data.producer_marked_private() || match->first_interest.private_req;
     const util::SimDuration fetch_delay = now() - match->created_at;
+    NDNP_TRACE_EVENT(util::TraceEventType::kPitSatisfy, name(), now(),
+                     match->first_interest.name.to_uri(), {}, -1, fetch_delay,
+                     static_cast<std::int64_t>(match->downstreams.size()));
     const util::SimDuration miss_pad =
         policy_->miss_response_delay(fetch_delay, treated_private) - fetch_delay;
     for (const Downstream& downstream : match->downstreams) {
@@ -313,6 +334,7 @@ void Forwarder::schedule_pit_timeout(const ndn::Name& name, std::uint64_t name_h
     if (entry != nullptr && entry->version == version) {
       pit_erase(name_hash, name);
       ++stats_.pit_expirations;
+      NDNP_TRACE_EVENT(util::TraceEventType::kPitExpire, this->name(), now(), name.to_uri());
     }
   });
 }

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "util/logging.hpp"
+#include "util/tracing.hpp"
 
 namespace ndnp::sim {
 
@@ -32,6 +33,8 @@ void Node::transmit(FaceId face, std::size_t wire_bytes, std::function<void()> d
   if (end.config.sample_loss(rng_)) {
     util::log(util::LogLevel::kDebug, "%s: %s %s lost on face %zu", name_.c_str(), kind,
               name_uri.c_str(), face);
+    NDNP_TRACE_EVENT(util::TraceEventType::kLinkDrop, name_, scheduler_.now(), name_uri,
+                     std::string("kind=") + kind, static_cast<std::int64_t>(face));
     return;
   }
   // Propagation + jitter (no size component)...
@@ -49,6 +52,25 @@ void Node::transmit(FaceId face, std::size_t wire_bytes, std::function<void()> d
       delay += tx;
     }
   }
+  NDNP_TRACE_EVENT(util::TraceEventType::kLinkEnqueue, name_, scheduler_.now(), name_uri,
+                   std::string("kind=") + kind, static_cast<std::int64_t>(face), delay,
+                   static_cast<std::int64_t>(wire_bytes));
+#if NDNP_TRACING
+  // Wrap the delivery so the far end's arrival shows up as link_dequeue.
+  // The wrapper is built only while a tracer is live: with tracing off the
+  // callback is passed through untouched, and either way exactly one event
+  // is scheduled, so the simulation's event order cannot change.
+  if (util::Tracer* tracer = util::Tracer::current();
+      tracer != nullptr && tracer->enabled() && end.peer != nullptr) {
+    deliver = [inner = std::move(deliver), sched = &scheduler_, rx_node = end.peer->name(),
+               rx_face = static_cast<std::int64_t>(end.peer_face), uri = name_uri,
+               detail = std::string("kind=") + kind] {
+      NDNP_TRACE_EVENT(util::TraceEventType::kLinkDequeue, rx_node, sched->now(), uri, detail,
+                       rx_face);
+      inner();
+    };
+  }
+#endif
   scheduler_.schedule_in(delay, std::move(deliver));
 }
 
@@ -64,6 +86,9 @@ void Node::send_interest(FaceId face, const ndn::Interest& interest) {
                  .wire_bytes = interest.wire_size(),
                  .wire = ndn::encode(interest)});
   }
+  NDNP_TRACE_EVENT(util::TraceEventType::kInterestTx, name_, scheduler_.now(),
+                   interest.name.to_uri(), interest.private_req ? "private=1" : "private=0",
+                   static_cast<std::int64_t>(face));
   transmit(
       face, interest.wire_size(),
       [peer, peer_face, interest] { peer->receive_interest(interest, peer_face); },
@@ -82,6 +107,9 @@ void Node::send_data(FaceId face, const ndn::Data& data) {
                  .wire_bytes = data.wire_size(),
                  .wire = ndn::encode(data)});
   }
+  NDNP_TRACE_EVENT(util::TraceEventType::kDataTx, name_, scheduler_.now(), data.name.to_uri(),
+                   {}, static_cast<std::int64_t>(face),
+                   static_cast<std::int64_t>(data.wire_size()));
   transmit(
       face, data.wire_size(),
       [peer, peer_face, data] { peer->receive_data(data, peer_face); },
@@ -100,6 +128,8 @@ void Node::send_nack(FaceId face, const ndn::Nack& nack) {
                  .wire_bytes = nack.wire_size(),
                  .wire = ndn::encode(nack.interest)});
   }
+  NDNP_TRACE_EVENT(util::TraceEventType::kNackTx, name_, scheduler_.now(),
+                   nack.interest.name.to_uri(), {}, static_cast<std::int64_t>(face));
   transmit(
       face, nack.wire_size(),
       [peer, peer_face, nack] { peer->receive_nack(nack, peer_face); },

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/tracing.hpp"
+
 namespace ndnp::sim {
 
 void Scheduler::schedule_at(util::SimTime when, Event event) {
@@ -24,7 +26,10 @@ bool Scheduler::run_one() {
   queue_.pop();
   now_ = item.when;
   ++processed_;
-  item.event();
+  {
+    NDNP_TRACE_SCOPE("scheduler", "scheduler", "dispatch");
+    item.event();
+  }
   return true;
 }
 

@@ -1,0 +1,462 @@
+#include "sim/trace_sinks.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ndnp::sim {
+
+namespace {
+
+/// JSON string escaping: quotes, backslashes and control characters (the
+/// latter as \u00XX so every emitted line is strict JSON).
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", u);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+[[nodiscard]] std::string json_string(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  append_json_escaped(out, s);
+  out += '"';
+  return out;
+}
+
+/// Simulation nanoseconds -> Chrome trace microseconds ("%.3f" keeps full
+/// nanosecond precision in the decimals).
+[[nodiscard]] std::string micros_str(std::int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(ns) / 1000.0);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<FlatEvent> flatten(const util::Tracer& tracer) {
+  std::vector<FlatEvent> out;
+  const std::vector<util::TraceEvent> events = tracer.events();
+  out.reserve(events.size());
+  for (const util::TraceEvent& ev : events) {
+    FlatEvent flat;
+    flat.t = ev.time;
+    flat.type = std::string(to_string(ev.type));
+    flat.node = tracer.label(ev.node);
+    flat.comp = tracer.label(ev.comp);
+    flat.name = ev.name;
+    flat.detail = ev.detail;
+    flat.face = ev.face;
+    flat.a = ev.a;
+    flat.b = ev.b;
+    out.push_back(std::move(flat));
+  }
+  return out;
+}
+
+std::string detail_field(const std::string& detail, const std::string& key) {
+  const std::string token = key + "=";
+  std::size_t pos = 0;
+  while (pos < detail.size()) {
+    // Only match at the start of the string or after a separating space.
+    const std::size_t found = detail.find(token, pos);
+    if (found == std::string::npos) return {};
+    if (found == 0 || detail[found - 1] == ' ') {
+      const std::size_t start = found + token.size();
+      const std::size_t end = detail.find(' ', start);
+      return detail.substr(start, end == std::string::npos ? std::string::npos : end - start);
+    }
+    pos = found + 1;
+  }
+  return {};
+}
+
+void write_trace_jsonl(const std::vector<FlatEvent>& events, std::ostream& out) {
+  std::string line;
+  for (const FlatEvent& ev : events) {
+    line.clear();
+    line += "{\"t\":";
+    line += std::to_string(ev.t);
+    line += ",\"type\":";
+    line += json_string(ev.type);
+    line += ",\"node\":";
+    line += json_string(ev.node);
+    line += ",\"comp\":";
+    line += json_string(ev.comp);
+    line += ",\"face\":";
+    line += std::to_string(ev.face);
+    line += ",\"name\":";
+    line += json_string(ev.name);
+    line += ",\"detail\":";
+    line += json_string(ev.detail);
+    line += ",\"a\":";
+    line += std::to_string(ev.a);
+    line += ",\"b\":";
+    line += std::to_string(ev.b);
+    line += "}\n";
+    out << line;
+  }
+}
+
+void write_chrome_trace(const std::vector<FlatEvent>& events, std::ostream& out) {
+  // pid/tid by first appearance; Perfetto shows them sorted by the "M"
+  // metadata names, so ids only need to be stable, not meaningful.
+  std::map<std::string, int> pids;
+  std::map<std::pair<int, std::string>, int> tids;
+  const auto pid_of = [&pids](const std::string& node) {
+    const auto [it, inserted] = pids.emplace(node, static_cast<int>(pids.size()) + 1);
+    (void)inserted;
+    return it->second;
+  };
+  const auto tid_of = [&tids](int pid, const std::string& comp) {
+    const auto [it, inserted] =
+        tids.emplace(std::pair{pid, comp}, static_cast<int>(tids.size()) + 1);
+    (void)inserted;
+    return it->second;
+  };
+
+  // First pass assigns ids in event order (deterministic).
+  for (const FlatEvent& ev : events) tid_of(pid_of(ev.node), ev.comp);
+
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&out, &first](const std::string& obj) {
+    if (!first) out << ",";
+    out << "\n" << obj;
+    first = false;
+  };
+
+  for (const auto& [node, pid] : pids) {
+    emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+         ",\"tid\":0,\"args\":{\"name\":" + json_string(node) + "}}");
+  }
+  for (const auto& [key, tid] : tids) {
+    emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" + std::to_string(key.first) +
+         ",\"tid\":" + std::to_string(tid) +
+         ",\"args\":{\"name\":" + json_string(key.second) + "}}");
+  }
+
+  for (const FlatEvent& ev : events) {
+    const int pid = pid_of(ev.node);
+    const int tid = tid_of(pid, ev.comp);
+    std::string obj = "{\"name\":";
+    if (ev.type == "span") {
+      // Wall-clock profiling span: sim-time anchored, wall-clock sized.
+      obj += json_string(ev.name);
+      obj += ",\"ph\":\"X\",\"ts\":";
+      obj += micros_str(ev.t);
+      obj += ",\"dur\":";
+      obj += micros_str(ev.a);
+    } else {
+      obj += json_string(ev.name.empty() ? ev.type : ev.type + " " + ev.name);
+      obj += ",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+      obj += micros_str(ev.t);
+    }
+    obj += ",\"pid\":";
+    obj += std::to_string(pid);
+    obj += ",\"tid\":";
+    obj += std::to_string(tid);
+    obj += ",\"args\":{\"type\":";
+    obj += json_string(ev.type);
+    obj += ",\"name\":";
+    obj += json_string(ev.name);
+    obj += ",\"detail\":";
+    obj += json_string(ev.detail);
+    obj += ",\"face\":";
+    obj += std::to_string(ev.face);
+    obj += ",\"a\":";
+    obj += std::to_string(ev.a);
+    obj += ",\"b\":";
+    obj += std::to_string(ev.b);
+    obj += "}}";
+    emit(obj);
+  }
+  out << "\n]}\n";
+}
+
+void write_trace_file(const util::Tracer& tracer, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_trace_file: cannot open " + path);
+  const std::vector<FlatEvent> events = flatten(tracer);
+  const bool jsonl = path.size() >= 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0;
+  if (jsonl)
+    write_trace_jsonl(events, out);
+  else
+    write_chrome_trace(events, out);
+  out.flush();
+  if (!out) throw std::runtime_error("write_trace_file: write failed for " + path);
+}
+
+// ---------------------------------------------------------------------------
+// JSONL parsing (the exact flat schema write_trace_jsonl emits).
+
+namespace {
+
+struct Cursor {
+  const std::string& line;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("parse_trace_jsonl: " + what + " at column " +
+                             std::to_string(pos) + " in: " + line);
+  }
+  void skip_ws() {
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+  }
+  [[nodiscard]] char peek() const { return pos < line.size() ? line[pos] : '\0'; }
+  void expect(char c) {
+    skip_ws();
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos;
+  }
+  [[nodiscard]] std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos < line.size() && line[pos] != '"') {
+      char c = line[pos++];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= line.size()) fail("dangling escape");
+      const char esc = line[pos++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos + 4 > line.size()) fail("truncated \\u escape");
+          unsigned value = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = line[pos++];
+            value <<= 4;
+            if (h >= '0' && h <= '9')
+              value |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              value |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              value |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail("bad \\u escape");
+          }
+          if (value < 0x80) {
+            out += static_cast<char>(value);
+          } else {  // 2-byte UTF-8 covers everything we ever emit
+            out += static_cast<char>(0xC0 | (value >> 6));
+            out += static_cast<char>(0x80 | (value & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+    if (pos >= line.size()) fail("unterminated string");
+    ++pos;  // closing quote
+    return out;
+  }
+  [[nodiscard]] std::int64_t parse_int() {
+    skip_ws();
+    const std::size_t start = pos;
+    if (peek() == '-') ++pos;
+    while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') ++pos;
+    if (pos == start || (pos == start + 1 && line[start] == '-')) fail("expected integer");
+    return std::stoll(line.substr(start, pos - start));
+  }
+};
+
+}  // namespace
+
+std::vector<FlatEvent> parse_trace_jsonl(std::istream& in) {
+  std::vector<FlatEvent> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    Cursor cur{line};
+    cur.expect('{');
+    FlatEvent ev;
+    cur.skip_ws();
+    if (cur.peek() != '}') {
+      while (true) {
+        const std::string key = cur.parse_string();
+        cur.expect(':');
+        cur.skip_ws();
+        if (key == "t")
+          ev.t = cur.parse_int();
+        else if (key == "type")
+          ev.type = cur.parse_string();
+        else if (key == "node")
+          ev.node = cur.parse_string();
+        else if (key == "comp")
+          ev.comp = cur.parse_string();
+        else if (key == "name")
+          ev.name = cur.parse_string();
+        else if (key == "detail")
+          ev.detail = cur.parse_string();
+        else if (key == "face")
+          ev.face = cur.parse_int();
+        else if (key == "a")
+          ev.a = cur.parse_int();
+        else if (key == "b")
+          ev.b = cur.parse_int();
+        else if (cur.peek() == '"')  // unknown key: skip its value
+          (void)cur.parse_string();
+        else
+          (void)cur.parse_int();
+        cur.skip_ws();
+        if (cur.peek() == ',') {
+          ++cur.pos;
+          continue;
+        }
+        break;
+      }
+    }
+    cur.expect('}');
+    out.push_back(std::move(ev));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Attack forensics.
+
+std::string_view to_string(ProbeVerdict verdict) noexcept {
+  switch (verdict) {
+    case ProbeVerdict::kTrueHit: return "TrueHit";
+    case ProbeVerdict::kDelayedHit: return "DelayedHit";
+    case ProbeVerdict::kSimulatedMiss: return "SimulatedMiss";
+    case ProbeVerdict::kTrueMiss: return "TrueMiss";
+    case ProbeVerdict::kUnknown: return "Unknown";
+  }
+  return "?";
+}
+
+ForensicsReport probe_forensics(const std::vector<FlatEvent>& events) {
+  // Per-name indexes over the two ground-truth streams. Events arrive in
+  // recording order, so each bucket is already sorted by time.
+  std::map<std::string, std::vector<const FlatEvent*>> lookups;
+  std::map<std::string, std::vector<const FlatEvent*>> decisions;
+  for (const FlatEvent& ev : events) {
+    if (ev.type == "cs_lookup")
+      lookups[ev.name].push_back(&ev);
+    else if (ev.type == "policy_decision")
+      decisions[ev.name].push_back(&ev);
+  }
+
+  const auto first_at_or_after = [](const std::vector<const FlatEvent*>& bucket,
+                                    util::SimTime when) {
+    return std::lower_bound(bucket.begin(), bucket.end(), when,
+                            [](const FlatEvent* ev, util::SimTime t) { return ev->t < t; });
+  };
+
+  ForensicsReport report;
+  for (const FlatEvent& ev : events) {
+    if (ev.type != "attack_probe") continue;
+    ProbeForensics probe;
+    probe.probe_time = ev.t;
+    probe.name = ev.name;
+    probe.truth = detail_field(ev.detail, "truth");
+    probe.rtt = ev.a;
+    probe.round = ev.b;
+
+    // The probe completed at ev.t after a measured RTT of ev.a ns: the
+    // cache lookup it triggered lies inside [t - rtt, t]. The first one in
+    // the window is the first-hop router's — the one whose answer shaped
+    // the RTT the adversary measured.
+    const auto lit = lookups.find(ev.name);
+    const FlatEvent* lookup = nullptr;
+    if (lit != lookups.end()) {
+      const auto it = first_at_or_after(lit->second, ev.t - ev.a);
+      if (it != lit->second.end() && (*it)->t <= ev.t) lookup = *it;
+    }
+
+    if (lookup == nullptr) {
+      probe.verdict = ProbeVerdict::kUnknown;
+    } else if (detail_field(lookup->detail, "result") != "hit") {
+      probe.verdict = ProbeVerdict::kTrueMiss;
+      probe.decided_by = lookup->node;
+    } else {
+      probe.decided_by = lookup->node;
+      // Cached: the policy decision at the same router tells us what the
+      // adversary was actually shown.
+      probe.verdict = ProbeVerdict::kTrueHit;
+      const auto dit = decisions.find(ev.name);
+      if (dit != decisions.end()) {
+        const auto it = first_at_or_after(dit->second, lookup->t);
+        if (it != dit->second.end() && (*it)->t <= ev.t && (*it)->node == lookup->node) {
+          const std::string action = detail_field((*it)->detail, "action");
+          if (action == "DelayedHit")
+            probe.verdict = ProbeVerdict::kDelayedHit;
+          else if (action == "SimulatedMiss")
+            probe.verdict = ProbeVerdict::kSimulatedMiss;
+        }
+      }
+    }
+
+    const bool cached = probe.verdict == ProbeVerdict::kTrueHit ||
+                        probe.verdict == ProbeVerdict::kDelayedHit ||
+                        probe.verdict == ProbeVerdict::kSimulatedMiss;
+    probe.agrees = probe.verdict != ProbeVerdict::kUnknown && !probe.truth.empty() &&
+                   (probe.truth == "hit") == cached;
+
+    switch (probe.verdict) {
+      case ProbeVerdict::kTrueHit: ++report.true_hits; break;
+      case ProbeVerdict::kDelayedHit: ++report.delayed_hits; break;
+      case ProbeVerdict::kSimulatedMiss: ++report.simulated_misses; break;
+      case ProbeVerdict::kTrueMiss: ++report.true_misses; break;
+      case ProbeVerdict::kUnknown: ++report.unknown; break;
+    }
+    if (probe.agrees) ++report.agreements;
+    report.probes.push_back(std::move(probe));
+  }
+  return report;
+}
+
+std::string ForensicsReport::format_table() const {
+  std::ostringstream out;
+  out << "round  t_ms        rtt_ms   truth  verdict        by      agree  name\n";
+  char row[256];
+  for (const ProbeForensics& probe : probes) {
+    std::snprintf(row, sizeof row, "%-6lld %-11.3f %-8.3f %-6s %-14s %-7s %-6s %s\n",
+                  static_cast<long long>(probe.round),
+                  static_cast<double>(probe.probe_time) / 1e6,
+                  static_cast<double>(probe.rtt) / 1e6, probe.truth.c_str(),
+                  std::string(to_string(probe.verdict)).c_str(), probe.decided_by.c_str(),
+                  probe.agrees ? "yes" : "no", probe.name.c_str());
+    out << row;
+  }
+  char summary[256];
+  std::snprintf(summary, sizeof summary,
+                "probes=%zu true_hit=%zu delayed_hit=%zu simulated_miss=%zu true_miss=%zu "
+                "unknown=%zu agreement=%.4f\n",
+                probes.size(), true_hits, delayed_hits, simulated_misses, true_misses,
+                unknown, agreement_rate());
+  out << summary;
+  return out.str();
+}
+
+}  // namespace ndnp::sim

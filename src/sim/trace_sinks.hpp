@@ -1,0 +1,121 @@
+// Exporters and forensics for util::Tracer captures.
+//
+// Three consumers of a recorded event stream:
+//  1. JSONL — one flat JSON object per event, greppable and trivially
+//     re-parseable (parse_trace_jsonl reads it back for trace_inspect).
+//  2. Chrome trace-event JSON — loadable in Perfetto (ui.perfetto.dev) or
+//     chrome://tracing. Nodes map to processes, components to threads;
+//     simulation-time events become instants ("i"), NDNP_TRACE_SCOPE spans
+//     become complete events ("X") whose duration is *wall-clock* time (the
+//     only nondeterministic field in a capture; see docs/OBSERVABILITY.md).
+//  3. probe_forensics — joins an adversary's attack_probe timeline against
+//     the router's ground-truth cs_lookup/policy_decision events and issues
+//     a per-probe verdict: an inspectable replay of the paper's Fig. 3
+//     cache-probing mechanics and of what a privacy policy hid.
+//
+// Everything here is deterministic given the event stream (the wall-clock
+// span durations are reproduced verbatim, not re-measured).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/sim_time.hpp"
+#include "util/tracing.hpp"
+
+namespace ndnp::sim {
+
+/// A trace event with its labels resolved to strings — the schema of one
+/// JSONL line, and what parse_trace_jsonl gives back.
+struct FlatEvent {
+  util::SimTime t = 0;
+  std::string type;    // util::to_string(TraceEventType)
+  std::string node;
+  std::string comp;
+  std::string name;    // content name URI, "" when not applicable
+  std::string detail;  // "key=value ..." pairs, event-type specific
+  std::int64_t face = -1;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+};
+
+/// Resolve a tracer's interned events into FlatEvents, oldest first.
+[[nodiscard]] std::vector<FlatEvent> flatten(const util::Tracer& tracer);
+
+/// Pull "key=value" out of a FlatEvent::detail string ("" when absent).
+[[nodiscard]] std::string detail_field(const std::string& detail, const std::string& key);
+
+/// One JSON object per line:
+/// {"t":0,"type":"cs_lookup","node":"R","comp":"cs","face":-1,"name":"/a",
+///  "detail":"result=hit depth=1 policy=LRU","a":0,"b":0}
+void write_trace_jsonl(const std::vector<FlatEvent>& events, std::ostream& out);
+
+/// Chrome trace-event JSON ({"traceEvents":[...]}): process/thread name
+/// metadata, "i" instants at simulation microseconds, "X" spans whose
+/// `dur` is the recorded wall-clock duration in microseconds.
+void write_chrome_trace(const std::vector<FlatEvent>& events, std::ostream& out);
+
+/// Write `tracer`'s events to `path`; a ".jsonl" extension selects the
+/// JSONL format, anything else the Chrome trace-event format. Throws
+/// std::runtime_error when the file cannot be written.
+void write_trace_file(const util::Tracer& tracer, const std::string& path);
+
+/// Read back a JSONL capture (as produced by write_trace_jsonl). Throws
+/// std::runtime_error on malformed lines.
+[[nodiscard]] std::vector<FlatEvent> parse_trace_jsonl(std::istream& in);
+
+// ---------------------------------------------------------------------------
+// Attack forensics.
+
+enum class ProbeVerdict : std::uint8_t {
+  kTrueHit,        // cached, policy exposed the hit
+  kDelayedHit,     // cached, policy served it behind an artificial delay
+  kSimulatedMiss,  // cached, policy mimicked a miss
+  kTrueMiss,       // not cached (or only a stale copy)
+  kUnknown,        // no cache lookup found inside the probe's RTT window
+};
+
+[[nodiscard]] std::string_view to_string(ProbeVerdict verdict) noexcept;
+
+/// One attack_probe event joined against the cache's ground truth.
+struct ProbeForensics {
+  util::SimTime probe_time = 0;  // completion time of the probe
+  std::string name;
+  std::string truth;             // the probe's own "truth=..." annotation
+  std::int64_t rtt = 0;          // measured RTT in ns (attack_probe's `a`)
+  std::int64_t round = 0;        // probe round (attack_probe's `b`)
+  ProbeVerdict verdict = ProbeVerdict::kUnknown;
+  std::string decided_by;        // node whose cs_lookup decided the verdict
+  /// Whether the verdict's cached/uncached view matches the probe's truth
+  /// annotation (kUnknown never agrees).
+  bool agrees = false;
+};
+
+struct ForensicsReport {
+  std::vector<ProbeForensics> probes;
+  std::size_t true_hits = 0;
+  std::size_t delayed_hits = 0;
+  std::size_t simulated_misses = 0;
+  std::size_t true_misses = 0;
+  std::size_t unknown = 0;
+  std::size_t agreements = 0;
+
+  [[nodiscard]] double agreement_rate() const noexcept {
+    return probes.empty() ? 0.0
+                          : static_cast<double>(agreements) /
+                                static_cast<double>(probes.size());
+  }
+  /// Human-readable per-probe table plus summary line.
+  [[nodiscard]] std::string format_table() const;
+};
+
+/// Join every attack_probe in `events` against the cache transitions inside
+/// its RTT window [t-a, t]: the first matching cs_lookup fixes cached vs
+/// not, and the policy_decision that follows it (same node, same name)
+/// distinguishes exposed, delayed and simulated outcomes. `events` must be
+/// in recording order (which is chronological for a single run).
+[[nodiscard]] ForensicsReport probe_forensics(const std::vector<FlatEvent>& events);
+
+}  // namespace ndnp::sim

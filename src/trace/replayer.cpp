@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "util/rng.hpp"
+#include "util/tracing.hpp"
 
 namespace ndnp::trace {
 
@@ -36,6 +37,7 @@ ReplayResult replay(const Trace& trace, const ReplayConfig& config) {
 
   ReplayResult result;
   double total_response_ms = 0.0;
+  NDNP_TRACE_SCOPE("replayer", "replay", "replay");
   for (const TraceRecord& record : trace.records) {
     ndn::Interest interest;
     interest.name = record.name;
@@ -46,6 +48,11 @@ ReplayResult replay(const Trace& trace, const ReplayConfig& config) {
 
     const auto now = static_cast<util::SimTime>(record.timestamp_s * 1e9);
     const core::RequestOutcome outcome = engine.handle(interest, now, fetch);
+    NDNP_TRACE_EVENT(util::TraceEventType::kReplayRequest, "replayer", now,
+                     record.name.to_uri(),
+                     std::string("outcome=") + std::string(to_string(outcome.kind)) +
+                         (interest.private_req ? " private=1" : " private=0"),
+                     -1, outcome.response_delay);
     total_response_ms += util::to_millis(outcome.response_delay);
   }
   result.stats = engine.stats();

@@ -1,6 +1,8 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <cstdlib>
+#include <cstring>
 
 namespace ndnp::util {
 
@@ -25,11 +27,58 @@ void set_log_level(LogLevel level) noexcept { g_level.store(static_cast<int>(lev
 
 LogLevel log_level() noexcept { return static_cast<LogLevel>(g_level.load()); }
 
+bool parse_log_level(const char* name, LogLevel& out) noexcept {
+  if (name == nullptr) return false;
+  if (name[0] >= '0' && name[0] <= '4' && name[1] == '\0') {
+    out = static_cast<LogLevel>(name[0] - '0');
+    return true;
+  }
+  if (std::strcmp(name, "error") == 0) out = LogLevel::kError;
+  else if (std::strcmp(name, "warn") == 0) out = LogLevel::kWarn;
+  else if (std::strcmp(name, "info") == 0) out = LogLevel::kInfo;
+  else if (std::strcmp(name, "debug") == 0) out = LogLevel::kDebug;
+  else if (std::strcmp(name, "trace") == 0) out = LogLevel::kTrace;
+  else return false;
+  return true;
+}
+
 void vlog(LogLevel level, const char* fmt, std::va_list args) noexcept {
+  // Level is re-checked here so every vlog caller gets the same gate; the
+  // printf-style wrappers below also check before va_start to keep the
+  // disabled path free of varargs setup.
   if (static_cast<int>(level) > g_level.load(std::memory_order_relaxed)) return;
-  std::fprintf(stderr, "[%s] ", level_name(level));
-  std::vfprintf(stderr, fmt, args);
-  std::fputc('\n', stderr);
+
+  // Format the whole line — "[LEVEL] <message>\n" — into one buffer and
+  // emit it with a single fwrite: three separate stdio calls interleave
+  // between threads under the parallel sweep runner and shred lines.
+  char stack_buf[1024];
+  const int prefix = std::snprintf(stack_buf, sizeof stack_buf, "[%s] ", level_name(level));
+  if (prefix < 0) return;
+
+  std::va_list probe;
+  va_copy(probe, args);
+  const int body = std::vsnprintf(stack_buf + prefix, sizeof stack_buf - prefix, fmt, probe);
+  va_end(probe);
+  if (body < 0) return;
+
+  char* line = stack_buf;
+  std::size_t len = static_cast<std::size_t>(prefix) + static_cast<std::size_t>(body);
+  char* heap_buf = nullptr;
+  if (len + 1 >= sizeof stack_buf) {
+    // Message did not fit: reformat into an exact-size heap buffer. On
+    // allocation failure fall back to the truncated stack copy.
+    heap_buf = static_cast<char*>(std::malloc(len + 2));
+    if (heap_buf != nullptr) {
+      std::memcpy(heap_buf, stack_buf, static_cast<std::size_t>(prefix));
+      std::vsnprintf(heap_buf + prefix, len + 2 - static_cast<std::size_t>(prefix), fmt, args);
+      line = heap_buf;
+    } else {
+      len = sizeof stack_buf - 2;
+    }
+  }
+  line[len] = '\n';
+  std::fwrite(line, 1, len + 1, stderr);
+  std::free(heap_buf);
 }
 
 void log(LogLevel level, const char* fmt, ...) noexcept {

@@ -17,6 +17,10 @@ enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3, kTrace
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 
+/// Parse a --log-level argument ("error", "warn", "info", "debug", "trace",
+/// or a bare digit 0-4) into `out`. Returns false on anything else.
+[[nodiscard]] bool parse_log_level(const char* name, LogLevel& out) noexcept;
+
 /// Core sink: writes "[LEVEL] <message>\n" to stderr when enabled.
 void vlog(LogLevel level, const char* fmt, std::va_list args) noexcept;
 

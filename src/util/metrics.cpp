@@ -16,14 +16,25 @@ std::string format_double(double x) {
   return buf;
 }
 
-/// Minimal JSON string escaping for metric names (which are plain dotted
-/// identifiers in practice; this keeps the exporter safe anyway).
+/// JSON string escaping for metric names (which are plain dotted
+/// identifiers in practice; this keeps the exporter safe anyway). Quotes
+/// and backslashes get a backslash, control characters the \uXXXX form,
+/// so the output is always valid JSON.
 std::string escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
   for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (u < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", u);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
   }
   return out;
 }

@@ -97,6 +97,46 @@ TEST(Golden, Fig4aMatchesGoldenVectorsAcrossDeltas) {
   }
 }
 
+// --- Flight recorder must not perturb golden outputs -----------------------
+// The tracer only observes: it never draws RNG, never schedules events.
+// Re-running the experiments with per-run tracers bound (in-memory capture)
+// must reproduce the exact same golden bytes. The compiled-out variant
+// (-DNDNP_TRACING=0) is pinned by a separate CI job against the same files.
+
+TEST(Golden, Fig5aUnchangedWithTracingEnabled) {
+  runner::SweepTraceCapture capture;
+  runner::Fig5aConfig config = fig5a_config(99);
+  config.capture = &capture;
+  const runner::Fig5aResult result = runner::run_fig5a(config);
+  expect_matches_golden("fig5a_seed99", result.format_table());
+  ASSERT_FALSE(capture.runs.empty());
+#if NDNP_TRACING
+  // The capture is real: every replay cell recorded engine activity.
+  // (With -DNDNP_TRACING=0 the instrumentation is compiled out and the
+  // tracers legitimately stay empty — the golden comparison above is the
+  // point of running this test in that configuration.)
+  for (const auto& tracer : capture.runs) EXPECT_GT(tracer->total_recorded(), 0u);
+#endif
+}
+
+TEST(Golden, Fig4aUnchangedWithTracingEnabled) {
+  runner::SweepTraceCapture capture;
+  runner::Fig4aConfig config;
+  config.capture = &capture;
+  const runner::Fig4aResult result = runner::run_fig4a(config);
+  expect_matches_golden("fig4a_delta5", result.format_table());
+}
+
+TEST(Golden, TheoryValidationUnchangedWithTracingEnabled) {
+  runner::SweepTraceCapture capture;
+  runner::TheoryValidationConfig config;
+  config.trials = 20'000;
+  config.capture = &capture;
+  const runner::TheoryValidationResult result = runner::run_theory_validation(config);
+  expect_matches_golden("theory_seed0",
+                        result.format_utility_table() + "\n" + result.format_privacy_table());
+}
+
 // --- Theory validation: closed forms vs Monte-Carlo simulation ------------
 // Three seed bases; the privacy half is exact (seed-independent) and must
 // be byte-identical across all three files.

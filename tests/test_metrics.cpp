@@ -185,6 +185,65 @@ TEST(Metrics, EngineExportIncludesPolicyAndStore) {
                 snap.counters.at("engine.true_misses"));
 }
 
+// ---------------------------------------------------------------------------
+// to_json: the canonical exporter must stay valid JSON for any metric name
+// and byte-identical for equal snapshots (golden vectors depend on this).
+
+TEST(MetricsJson, EscapesMetricNames) {
+  util::MetricsSnapshot snap;
+  snap.counters["plain.name"] = 1;
+  snap.counters["quote\"back\\slash"] = 2;
+  snap.counters["ctrl\nnew\tline\x01"] = 3;
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"plain.name\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"quote\\\"back\\\\slash\":2"), std::string::npos);
+  // Control characters must come out as \uXXXX, never raw.
+  EXPECT_NE(json.find("\"ctrl\\u000anew\\u0009line\\u0001\":3"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_EQ(json.find('\t'), std::string::npos);
+}
+
+TEST(MetricsJson, HistogramEdgeBinsClampOutOfRangeSamples) {
+  util::MetricsRegistry registry;
+  util::HistogramMetric& hist = registry.histogram("h", 0.0, 1.0, 4);
+  hist.add(-1e9);   // below lo -> first bin
+  hist.add(-0.001);
+  hist.add(0.999);  // in range -> last bin
+  hist.add(1.0);    // hi is exclusive -> clamps to last bin
+  hist.add(1e9);
+  const util::HistogramData data = registry.snapshot().histograms.at("h");
+  ASSERT_EQ(data.counts.size(), 4u);
+  EXPECT_EQ(data.counts[0], 2u);
+  EXPECT_EQ(data.counts[1], 0u);
+  EXPECT_EQ(data.counts[2], 0u);
+  EXPECT_EQ(data.counts[3], 3u);
+  EXPECT_EQ(data.total(), 5u);
+  // The clamped shape serializes with every bin, zeros included.
+  EXPECT_NE(registry.snapshot().to_json().find("\"counts\":[2,0,0,3]"), std::string::npos);
+}
+
+TEST(MetricsJson, EqualSnapshotsSerializeByteIdentically) {
+  // Populate two registries in different orders with the same final state;
+  // the ordered maps must erase insertion order entirely.
+  util::MetricsRegistry a;
+  a.counter("z.last").inc(7);
+  a.counter("a.first").inc(3);
+  a.histogram("h", 0.0, 2.0, 3).add(1.0);
+  util::MetricsRegistry b;
+  b.histogram("h", 0.0, 2.0, 3).add(1.0);
+  b.counter("a.first").inc(1);
+  b.counter("a.first").inc(2);
+  b.counter("z.last").inc(7);
+  util::MetricsSnapshot sa = a.snapshot();
+  util::MetricsSnapshot sb = b.snapshot();
+  sa.gauges["rate"] = 0.1 + 0.2;  // same double expression on both sides
+  sb.gauges["rate"] = 0.1 + 0.2;
+  EXPECT_TRUE(sa == sb);
+  EXPECT_EQ(sa.to_json(), sb.to_json());
+  // %.17g round-trips doubles exactly, so the gauge survives re-parsing.
+  EXPECT_NE(sa.to_json().find("\"rate\":"), std::string::npos);
+}
+
 TEST(Metrics, ForwarderExport) {
   sim::Scheduler scheduler;
   sim::ForwarderConfig config;

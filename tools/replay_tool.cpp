@@ -7,12 +7,19 @@
 //               [--cache N] [--eviction lru|fifo|lfu|random]
 //               [--private-fraction F] [--k N] [--epsilon E] [--delta D]
 //               [--admission P] [--seed N] [--json]
+//               [--trace-out PATH] [--trace-filter PREFIX] [--log-level L]
 //
 // With several --trace files the replays fan across --jobs threads on the
 // deterministic runner (each trace gets its own engine and RNG); results
 // print in trace order, identical for any jobs count. --json replaces the
 // human-readable tables with the merged metrics JSON (per-trace snapshots +
 // cross-trace aggregate), so stdout is directly machine-parseable.
+//
+// --trace-out captures a flight-recorder event stream per replay (".jsonl"
+// for the line-oriented dump readable by trace_inspect, anything else for
+// Chrome trace-event JSON loadable in Perfetto); --trace-filter restricts
+// the capture to content names with the given prefix. Capturing never
+// changes replay results (see docs/OBSERVABILITY.md).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,6 +32,7 @@
 #include "runner/experiments.hpp"
 #include "runner/runner.hpp"
 #include "trace/replayer.hpp"
+#include "util/logging.hpp"
 
 namespace {
 
@@ -34,7 +42,17 @@ void usage(const char* argv0) {
       "usage: %s --trace FILE [--trace FILE ...] [--jobs N]\n"
       "          [--policy none|always-delay|uniform|expo|naive]\n"
       "          [--cache N] [--eviction lru|fifo|lfu|random] [--private-fraction F]\n"
-      "          [--k N] [--epsilon E] [--delta D] [--admission P] [--seed N] [--json]\n",
+      "          [--k N] [--epsilon E] [--delta D] [--admission P] [--seed N] [--json]\n"
+      "          [--trace-out PATH] [--trace-filter PREFIX]\n"
+      "          [--log-level error|warn|info|debug|trace]\n"
+      "\n"
+      "  --trace-out PATH      write a flight-recorder capture per replay; a\n"
+      "                        .jsonl suffix selects the JSONL event dump\n"
+      "                        (readable by trace_inspect), anything else the\n"
+      "                        Chrome trace-event JSON for Perfetto\n"
+      "  --trace-filter PREFIX capture only events whose content name starts\n"
+      "                        with PREFIX\n"
+      "  --log-level L         stderr logging threshold (default: warn)\n",
       argv0);
 }
 
@@ -51,6 +69,7 @@ int main(int argc, char** argv) {
   double delta = 0.05;
   std::size_t jobs = 1;
   bool emit_json = false;
+  runner::SweepTraceCapture capture;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -105,7 +124,19 @@ int main(int argc, char** argv) {
       config.cache_admission_probability = std::atof(next());
     else if (arg == "--seed")
       config.seed = static_cast<std::uint64_t>(std::atoll(next()));
-    else {
+    else if (arg == "--trace-out")
+      capture.out_path = next();
+    else if (arg == "--trace-filter")
+      capture.filter = next();
+    else if (arg == "--log-level") {
+      const char* value = next();
+      util::LogLevel level;
+      if (!util::parse_log_level(value, level)) {
+        std::fprintf(stderr, "%s: unknown log level '%s'\n", argv[0], value);
+        return 2;
+      }
+      util::set_log_level(level);
+    } else {
       usage(argv[0]);
       return 2;
     }
@@ -171,6 +202,7 @@ int main(int argc, char** argv) {
   runner::SweepOptions options;
   options.jobs = jobs;
   options.master_seed = config.seed;
+  if (!capture.out_path.empty() || !capture.filter.empty()) options.capture = &capture;
   const std::vector<TraceRunResult> results = runner::run_sweep<TraceRunResult>(
       traces.size(), options, [&](const runner::RunContext& ctx) {
         util::MetricsRegistry registry;

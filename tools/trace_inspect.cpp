@@ -1,0 +1,158 @@
+// trace_inspect: read a flight-recorder JSONL capture (--trace-out foo.jsonl
+// from a bench, replay_tool, or a sweep) and report what happened in it.
+//
+//   trace_inspect [--summary] [--forensics] [--name PREFIX] FILE.jsonl [...]
+//
+// By default both reports print:
+//  * summary — event counts per type, per node, and per component, plus the
+//    capture's time span; a quick sanity check that instrumentation fired.
+//  * forensics — when the capture holds attack_probe events, each probe is
+//    joined against the router's ground-truth cs_lookup / policy_decision
+//    timeline and given a verdict (true hit, privacy-delayed hit, simulated
+//    miss, true miss). This is the paper's Fig. 3 cache-probing attack seen
+//    from the router's side: what the adversary measured vs what the cache
+//    actually did, and whether the privacy policy fooled it.
+//
+// Only the JSONL format is parseable here; Chrome trace-event captures are
+// for Perfetto (see docs/OBSERVABILITY.md).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/trace_sinks.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--summary] [--forensics] [--name PREFIX]\n"
+               "          [--log-level error|warn|info|debug|trace] FILE.jsonl [...]\n"
+               "\n"
+               "  --summary    print only the event-count summary\n"
+               "  --forensics  print only the attack forensics report\n"
+               "  --name P     restrict to events whose content name starts with P\n"
+               "  --log-level  stderr logging threshold (default: warn)\n",
+               argv0);
+}
+
+void print_summary(const std::string& path, const std::vector<ndnp::sim::FlatEvent>& events) {
+  using ndnp::util::SimTime;
+  std::map<std::string, std::size_t> by_type;
+  std::map<std::string, std::size_t> by_node;
+  std::map<std::string, std::size_t> by_comp;
+  SimTime t_min = 0;
+  SimTime t_max = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const ndnp::sim::FlatEvent& ev = events[i];
+    ++by_type[ev.type];
+    ++by_node[ev.node];
+    ++by_comp[ev.comp];
+    if (i == 0 || ev.t < t_min) t_min = ev.t;
+    if (i == 0 || ev.t > t_max) t_max = ev.t;
+  }
+  std::printf("%s: %zu events", path.c_str(), events.size());
+  if (!events.empty())
+    std::printf(", t=[%.3f ms, %.3f ms]", static_cast<double>(t_min) / 1e6,
+                static_cast<double>(t_max) / 1e6);
+  std::printf("\n");
+  std::printf("  by type:\n");
+  for (const auto& [type, n] : by_type) std::printf("    %-18s %zu\n", type.c_str(), n);
+  std::printf("  by node:\n");
+  for (const auto& [node, n] : by_node) std::printf("    %-18s %zu\n", node.c_str(), n);
+  std::printf("  by component:\n");
+  for (const auto& [comp, n] : by_comp) std::printf("    %-18s %zu\n", comp.c_str(), n);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ndnp;
+
+  bool want_summary = false;
+  bool want_forensics = false;
+  std::string name_prefix;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--summary")
+      want_summary = true;
+    else if (arg == "--forensics")
+      want_forensics = true;
+    else if (arg == "--name")
+      name_prefix = next();
+    else if (arg == "--log-level") {
+      const char* value = next();
+      util::LogLevel level;
+      if (!util::parse_log_level(value, level)) {
+        std::fprintf(stderr, "%s: unknown log level '%s'\n", argv[0], value);
+        return 2;
+      }
+      util::set_log_level(level);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(argv[0]);
+      return 2;
+    } else
+      paths.push_back(arg);
+  }
+  if (paths.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+  // Neither flag given: show everything.
+  if (!want_summary && !want_forensics) want_summary = want_forensics = true;
+
+  int rc = 0;
+  for (std::size_t p = 0; p < paths.size(); ++p) {
+    const std::string& path = paths[p];
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      rc = 1;
+      continue;
+    }
+    std::vector<sim::FlatEvent> events;
+    try {
+      events = sim::parse_trace_jsonl(in);
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), ex.what());
+      rc = 1;
+      continue;
+    }
+    if (!name_prefix.empty()) {
+      std::vector<sim::FlatEvent> kept;
+      kept.reserve(events.size());
+      for (sim::FlatEvent& ev : events)
+        if (ev.name.compare(0, name_prefix.size(), name_prefix) == 0)
+          kept.push_back(std::move(ev));
+      events = std::move(kept);
+    }
+
+    if (p != 0) std::printf("\n");
+    if (want_summary) print_summary(path, events);
+    if (want_forensics) {
+      const sim::ForensicsReport report = sim::probe_forensics(events);
+      if (!report.probes.empty()) {
+        if (want_summary) std::printf("\n");
+        std::printf("%s", report.format_table().c_str());
+      } else if (!want_summary) {
+        std::printf("%s: no attack_probe events\n", path.c_str());
+      }
+    }
+  }
+  return rc;
+}
