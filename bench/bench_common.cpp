@@ -24,6 +24,7 @@ void bench_usage(std::FILE* out, const char* argv0) {
   std::fprintf(out,
                "usage: %s [--jobs N] [--trace-out PATH] [--trace-filter PREFIX]\n"
                "          [--log-level error|warn|info|debug|trace]\n"
+               "          [--net-loss RATE] [--net-burst LEN] [--net-retry-ms MS]\n"
                "\n"
                "  --jobs N              sweep worker threads (0 = all hardware threads;\n"
                "                        env NDNP_JOBS supplies the default)\n"
@@ -33,7 +34,11 @@ void bench_usage(std::FILE* out, const char* argv0) {
                "                        trace-event JSON for Perfetto\n"
                "  --trace-filter PREFIX capture only events whose content name starts\n"
                "                        with PREFIX\n"
-               "  --log-level L         stderr logging threshold (default: warn)\n",
+               "  --log-level L         stderr logging threshold (default: warn)\n"
+               "  --net-loss RATE       Gilbert-Elliott burst loss rate on the upstream\n"
+               "                        fetch path, 0..1 (default 0 = clean network)\n"
+               "  --net-burst LEN       mean loss-burst length in packets (default 4)\n"
+               "  --net-retry-ms MS     retry penalty per lost fetch (default 80)\n",
                argv0);
 }
 
@@ -67,6 +72,25 @@ BenchOptions parse_bench_options(int argc, char** argv) {
         std::exit(2);
       }
       options.jobs = runner::resolve_jobs(static_cast<std::size_t>(parsed));
+    } else if (std::strcmp(argv[i], "--net-loss") == 0 ||
+               std::strcmp(argv[i], "--net-burst") == 0 ||
+               std::strcmp(argv[i], "--net-retry-ms") == 0) {
+      const char* flag = argv[i];
+      const char* value = next();
+      char* end = nullptr;
+      const double parsed = std::strtod(value, &end);
+      if (end == value || *end != '\0' || parsed < 0.0 ||
+          (std::strcmp(flag, "--net-loss") == 0 && parsed >= 1.0)) {
+        std::fprintf(stderr, "%s: %s expects a non-negative number%s, got '%s'\n", argv[0],
+                     flag, std::strcmp(flag, "--net-loss") == 0 ? " below 1" : "", value);
+        std::exit(2);
+      }
+      if (std::strcmp(flag, "--net-loss") == 0)
+        options.net_loss = parsed;
+      else if (std::strcmp(flag, "--net-burst") == 0)
+        options.net_burst = parsed;
+      else
+        options.net_retry_ms = parsed;
     } else if (std::strcmp(argv[i], "--trace-out") == 0) {
       options.trace_out = next();
     } else if (std::strcmp(argv[i], "--trace-filter") == 0) {

@@ -11,6 +11,7 @@
 
 #include "attack/timing_attack.hpp"
 #include "runner/runner.hpp"
+#include "util/fault_model.hpp"
 
 namespace ndnp::bench {
 
@@ -28,6 +29,10 @@ namespace ndnp::bench {
 ///                         with PREFIX
 ///   --log-level L         stderr logging threshold (error|warn|info|
 ///                         debug|trace, default warn)
+///   --net-loss RATE       degraded-network ablation: Gilbert–Elliott burst
+///                         loss on the upstream fetch path (0 = off)
+///   --net-burst LEN       mean loss-burst length in packets (default 4)
+///   --net-retry-ms MS     retransmission penalty per lost fetch (default 80)
 /// Capturing never changes bench output — golden vectors stay byte-
 /// identical with tracing on, off, or compiled out.
 struct BenchOptions {
@@ -35,6 +40,17 @@ struct BenchOptions {
   std::string trace_out;
   std::string trace_filter;
   std::size_t trace_capacity = 1u << 20;
+  double net_loss = 0.0;
+  double net_burst = 4.0;
+  double net_retry_ms = 80.0;
+
+  /// The --net-* flags as a chain config (disabled when --net-loss is 0).
+  [[nodiscard]] util::GilbertElliottConfig upstream_loss() const noexcept {
+    return util::GilbertElliottConfig::from_loss_and_burst(net_loss, net_burst);
+  }
+  [[nodiscard]] util::SimDuration upstream_retry_penalty() const noexcept {
+    return static_cast<util::SimDuration>(net_retry_ms * 1e6);
+  }
 
   /// Whether any tracing flag was given.
   [[nodiscard]] bool tracing_requested() const noexcept {

@@ -26,6 +26,8 @@ int main(int argc, char** argv) {
   config.trace_requests = bench::scale_from_env("NDNP_TRACE_REQUESTS", 200'000);
   config.trace_objects = bench::scale_from_env("NDNP_TRACE_OBJECTS", 200'000);
   config.jobs = jobs;
+  config.upstream_loss = options.upstream_loss();
+  config.upstream_retry_penalty = options.upstream_retry_penalty();
   runner::SweepTraceCapture capture;
   config.capture = options.configure(capture);
 
@@ -43,8 +45,14 @@ int main(int argc, char** argv) {
               static_cast<long long>(config.anonymity_k), config.epsilon, config.delta,
               static_cast<long long>(result.uniform_domain), result.expo.alpha,
               static_cast<long long>(result.expo.domain));
-  std::printf("private fraction: %.2f, eviction: LRU\n\n", config.private_fraction);
-  std::printf("%s", result.format_table().c_str());
+  std::printf("private fraction: %.2f, eviction: LRU\n", config.private_fraction);
+  if (config.upstream_loss.enabled())
+    std::printf("degraded network: %.1f%% upstream burst loss (mean burst %.1f pkts, "
+                "retry penalty %.0f ms)\n",
+                100.0 * config.upstream_loss.stationary_loss(), options.net_burst,
+                options.net_retry_ms);
+  std::printf("\n%s", result.format_table().c_str());
+  if (config.upstream_loss.enabled()) std::printf("\n%s", result.format_delay_table().c_str());
 
   std::printf("\nPaper: hit rates rise with cache size; ordering No-Privacy > Exponential >\n"
               "       Uniform > Always-Delay throughout (Figure 5(a) spans ~10-50%%).\n");

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "util/invariant.hpp"
 #include "util/tracing.hpp"
 
 namespace ndnp::cache {
@@ -55,6 +56,7 @@ Entry& ContentStore::insert(ndn::Data data, EntryMeta meta) {
   if (Node* existing = exact_find(name_hash, data.name)) {
     // Overwrite in place; keep eviction position (refresh handled by
     // touch() from the caller if desired).
+    ++stats_.overwrites;
     existing->entry.data = std::move(data);
     existing->entry.meta = meta;
     return existing->entry;
@@ -193,6 +195,7 @@ bool ContentStore::erase(const ndn::Name& name) {
                        : node->entry.meta.inserted_at,
                    node->entry.data.name.to_uri(), "reason=erase");
   remove_node(node);
+  ++stats_.erases;
   return true;
 }
 
@@ -242,6 +245,7 @@ std::unique_ptr<ContentStore::Node> ContentStore::acquire_node() {
 }
 
 void ContentStore::clear() {
+  stats_.wiped += all_entries_.size();
   entries_.clear();
   for (auto& table : prefix_index_) table.clear();
   all_entries_.clear();
@@ -406,7 +410,32 @@ void ContentStore::export_metrics(util::MetricsRegistry& registry,
   registry.counter(prefix + ".matches").inc(stats_.matches);
   registry.counter(prefix + ".inserts").inc(stats_.inserts);
   registry.counter(prefix + ".evictions").inc(stats_.evictions);
+  registry.counter(prefix + ".overwrites").inc(stats_.overwrites);
+  registry.counter(prefix + ".erases").inc(stats_.erases);
+  registry.counter(prefix + ".wiped").inc(stats_.wiped);
   registry.counter(prefix + ".size").inc(size());
+}
+
+void ContentStore::check_integrity() const {
+  NDNP_INVARIANT_CHECK("cs", unbounded() || size() <= capacity_,
+                       "size=%zu exceeds capacity=%zu", size(), capacity_);
+  // Entry conservation: every insert either overwrote in place or created
+  // an entry that is still resident or left via eviction/erase/clear.
+  NDNP_INVARIANT_CHECK(
+      "cs",
+      stats_.inserts ==
+          stats_.overwrites + size() + stats_.evictions + stats_.erases + stats_.wiped,
+      "inserts=%llu != overwrites=%llu + size=%zu + evictions=%llu + erases=%llu + "
+      "wiped=%llu",
+      static_cast<unsigned long long>(stats_.inserts),
+      static_cast<unsigned long long>(stats_.overwrites), size(),
+      static_cast<unsigned long long>(stats_.evictions),
+      static_cast<unsigned long long>(stats_.erases),
+      static_cast<unsigned long long>(stats_.wiped));
+  NDNP_INVARIANT_CHECK("cs", stats_.matches <= stats_.lookups,
+                       "matches=%llu exceeds lookups=%llu",
+                       static_cast<unsigned long long>(stats_.matches),
+                       static_cast<unsigned long long>(stats_.lookups));
 }
 
 }  // namespace ndnp::cache

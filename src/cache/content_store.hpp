@@ -100,6 +100,9 @@ struct CacheStats {
   std::uint64_t matches = 0;
   std::uint64_t inserts = 0;
   std::uint64_t evictions = 0;
+  std::uint64_t overwrites = 0;  // insert() hit an existing exact name
+  std::uint64_t erases = 0;      // erase() removed an entry
+  std::uint64_t wiped = 0;       // entries dropped by clear()
 };
 
 class ContentStore {
@@ -161,6 +164,13 @@ class ContentStore {
   /// Publish the cache counters into `registry` under `prefix` (e.g.
   /// "cs.lookups"). Adds the current totals; call once per snapshot.
   void export_metrics(util::MetricsRegistry& registry, const std::string& prefix) const;
+
+  /// Structural invariants: size within capacity, and every inserted entry
+  /// accounted for (inserts == overwrites + size + evictions + erases +
+  /// wiped), matches never exceeding lookups. Throws
+  /// util::InvariantViolation on breach; compiled to a no-op with
+  /// -DNDNP_INVARIANT=0.
+  void check_integrity() const;
 
   /// Iterate over all entries (test/diagnostic use). Order is insertion
   /// order perturbed by swap-and-pop removals — deterministic for a given

@@ -40,6 +40,10 @@ util::MetricsSnapshot replay_with_metrics(const trace::Trace& trace,
   const trace::ReplayResult result = trace::replay(trace, cfg);
   util::MetricsSnapshot snap = registry.snapshot();
   snap.counters["replay.private_requests"] = result.private_requests;
+  if (config.upstream_loss.enabled()) {
+    snap.counters["replay.upstream_losses"] = result.upstream_losses;
+    snap.counters["replay.degraded_fetches"] = result.degraded_fetches;
+  }
   snap.gauges["replay.hit_rate_pct"] = result.hit_rate_pct();
   snap.gauges["replay.cache_served_pct"] = result.cache_served_pct();
   snap.gauges["replay.mean_response_ms"] = result.mean_response_ms;
@@ -103,6 +107,8 @@ Fig5aResult run_fig5a(const Fig5aConfig& config) {
         replay_config.cache_capacity = config.cache_sizes[size];
         replay_config.private_fraction = config.private_fraction;
         replay_config.policy_factory = schemes[scheme].factory;
+        replay_config.upstream_loss = config.upstream_loss;
+        replay_config.upstream_retry_penalty = config.upstream_retry_penalty;
         replay_config.seed = config.replay_seed;
         return replay_with_metrics(tr, replay_config);
       });
@@ -128,6 +134,20 @@ std::string Fig5aResult::format_table() const {
     out += sprintf_line("%-26s", scheme_names[s].c_str());
     for (std::size_t z = 0; z < cache_sizes.size(); ++z)
       out += sprintf_line("%9.2f%%", hit_rate_pct(s, z));
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Fig5aResult::format_delay_table() const {
+  std::string out = sprintf_line("%-26s", "mean response (ms):");
+  for (const std::size_t size : cache_sizes)
+    out += size == 0 ? sprintf_line("%10s", "Inf") : sprintf_line("%10zu", size);
+  out += '\n';
+  for (std::size_t s = 0; s < scheme_names.size(); ++s) {
+    out += sprintf_line("%-26s", scheme_names[s].c_str());
+    for (std::size_t z = 0; z < cache_sizes.size(); ++z)
+      out += sprintf_line("%10.3f", cells[s][z].gauges.at("replay.mean_response_ms"));
     out += '\n';
   }
   return out;

@@ -45,6 +45,11 @@ struct Fig5aConfig {
   double private_fraction = 0.2;
   /// 0 = unlimited (the paper's "Inf" column).
   std::vector<std::size_t> cache_sizes = {2'000, 4'000, 8'000, 16'000, 32'000, 0};
+  /// Degraded-network ablation: Gilbert–Elliott burst loss on the upstream
+  /// fetch path of every replay cell (see trace::ReplayConfig). Hit rates
+  /// are unaffected by construction; response delays inflate.
+  util::GilbertElliottConfig upstream_loss{};
+  util::SimDuration upstream_retry_penalty = util::millis(80);
   std::size_t jobs = 1;
   /// Optional per-cell flight-recorder capture (not owned).
   SweepTraceCapture* capture = nullptr;
@@ -66,6 +71,10 @@ struct Fig5aResult {
   /// The bench's table text (header row + one row per scheme), identical to
   /// the pre-runner serial output. This is what the golden vectors lock in.
   [[nodiscard]] std::string format_table() const;
+
+  /// Mean response delay (ms) per cell — the metric the degraded-network
+  /// ablation moves (hit rates stay put by construction).
+  [[nodiscard]] std::string format_delay_table() const;
 
   /// Canonical merged JSON of all cells (row-major) plus the aggregate.
   [[nodiscard]] std::string merged_json() const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/policies.hpp"
+#include "util/invariant.hpp"
 #include "util/logging.hpp"
 #include "util/tracing.hpp"
 
@@ -113,6 +114,17 @@ void Forwarder::handle_interest(const ndn::Interest& interest, FaceId in_face) {
 
   // 2. PIT: collapse onto an existing pending interest for the same name.
   if (PitEntry* entry = pit_find(name_hash, interest.name)) {
+    // A resident entry past its expiry means the timeout event leaked.
+    NDNP_INVARIANT_CHECK("forwarder", now() <= entry->expires_at,
+                         "PIT entry for %s leaked past lifetime (now=%lld expires=%lld)",
+                         interest.name.to_uri().c_str(), static_cast<long long>(now()),
+                         static_cast<long long>(entry->expires_at));
+    // The nonce-loop gate above returned for known nonces; re-aggregating
+    // one here would re-arm a looping interest.
+    NDNP_INVARIANT_CHECK("forwarder", !entry->nonces.contains(interest.nonce),
+                         "nonce %llu re-aggregated for %s",
+                         static_cast<unsigned long long>(interest.nonce),
+                         interest.name.to_uri().c_str());
     entry->nonces.insert(interest.nonce);
     const bool known_face =
         std::any_of(entry->downstreams.begin(), entry->downstreams.end(),
@@ -166,20 +178,36 @@ void Forwarder::forward_interest(const ndn::Interest& interest, FaceId in_face,
     return;
   }
 
+  // The caller dispatched here only when no entry collapsed this interest;
+  // inserting over a live entry would orphan its downstreams and timer.
+  NDNP_INVARIANT_CHECK("forwarder", pit_find(name_hash, interest.name) == nullptr,
+                       "duplicate PIT insert for %s", interest.name.to_uri().c_str());
+
+  // Clamp the requested lifetime: a corrupted or hostile interest can carry
+  // a lifetime that decodes negative, and a negative timer delay would
+  // abort the scheduler (found by the fault fuzzer).
+  const util::SimDuration lifetime =
+      std::max<util::SimDuration>(interest.lifetime.value_or(config_.pit_timeout), 0);
+
   PitEntry entry;
   entry.first_interest = interest;
   entry.downstreams.push_back({.face = in_face, .arrived_at = now()});
   entry.nonces.insert(interest.nonce);
   entry.created_at = now();
+  entry.expires_at = now() + lifetime;
   entry.version = next_pit_version_++;
   const std::uint64_t version = entry.version;
   pit_.emplace(name_hash, std::move(entry), [&interest](const PitEntry& existing) {
     return existing.first_interest.name == interest.name;
   });
+  ++stats_.pit_inserts;
+  NDNP_INVARIANT_CHECK("forwarder",
+                       config_.pit_capacity == 0 || pit_.size() <= config_.pit_capacity,
+                       "PIT size %zu exceeds capacity %zu after insert", pit_.size(),
+                       config_.pit_capacity);
   NDNP_TRACE_EVENT(util::TraceEventType::kPitCreate, name(), now(), interest.name.to_uri(),
                    {}, static_cast<std::int64_t>(in_face));
-  schedule_pit_timeout(interest.name, name_hash, version,
-                       interest.lifetime.value_or(config_.pit_timeout));
+  schedule_pit_timeout(interest.name, name_hash, version, lifetime);
 
   for (const FaceId next_hop : next_hops) {
     ++stats_.forwarded_interests;
@@ -243,6 +271,12 @@ void Forwarder::handle_data(const ndn::Data& data, FaceId) {
   // misses with delayed hits); padding is per PIT entry since each has its
   // own interest-in time.
   for (const auto& [match_hash, match] : matches) {
+    NDNP_INVARIANT_CHECK("forwarder", now() <= match->expires_at,
+                         "satisfying PIT entry for %s past its lifetime (now=%lld "
+                         "expires=%lld)",
+                         match->first_interest.name.to_uri().c_str(),
+                         static_cast<long long>(now()),
+                         static_cast<long long>(match->expires_at));
     const bool treated_private =
         data.producer_marked_private() || match->first_interest.private_req;
     const util::SimDuration fetch_delay = now() - match->created_at;
@@ -272,6 +306,7 @@ void Forwarder::handle_data(const ndn::Data& data, FaceId) {
     pit_.erase(match_hash, [entry = match](const PitEntry& candidate) {
       return &candidate == entry;
     });
+    ++stats_.pit_satisfied;
   }
 }
 
@@ -288,6 +323,7 @@ void Forwarder::handle_nack(const ndn::Nack& nack, FaceId) {
     send_nack(downstream.face, nack);
   }
   pit_erase(name_hash, nack.interest.name);
+  ++stats_.pit_nack_erased;
 }
 
 Forwarder::FibEntry* Forwarder::fib_lookup(const ndn::Name& name) {
@@ -332,6 +368,12 @@ void Forwarder::schedule_pit_timeout(const ndn::Name& name, std::uint64_t name_h
   scheduler().schedule_in(lifetime, [this, name, name_hash, version] {
     const PitEntry* entry = pit_find(name_hash, name);
     if (entry != nullptr && entry->version == version) {
+      // The timer was armed for exactly this entry's lifetime; firing at
+      // any other instant means the expiry bookkeeping drifted.
+      NDNP_INVARIANT_CHECK("forwarder", now() == entry->expires_at,
+                           "expiry timer for %s fired at %lld, entry expires at %lld",
+                           name.to_uri().c_str(), static_cast<long long>(now()),
+                           static_cast<long long>(entry->expires_at));
       pit_erase(name_hash, name);
       ++stats_.pit_expirations;
       NDNP_TRACE_EVENT(util::TraceEventType::kPitExpire, this->name(), now(), name.to_uri());
@@ -360,8 +402,38 @@ void Forwarder::export_metrics(util::MetricsRegistry& registry,
   registry.counter(prefix + ".pit_expirations").inc(stats_.pit_expirations);
   registry.counter(prefix + ".data_forwarded").inc(stats_.data_forwarded);
   registry.counter(prefix + ".pit_size").inc(pit_.size());
+  registry.counter(prefix + ".pit_inserts").inc(stats_.pit_inserts);
+  registry.counter(prefix + ".pit_satisfied").inc(stats_.pit_satisfied);
+  registry.counter(prefix + ".pit_nack_erased").inc(stats_.pit_nack_erased);
   cs_.export_metrics(registry, prefix + ".cs");
   policy_->export_metrics(registry, prefix + ".policy");
+  export_fault_metrics(registry, prefix);
+}
+
+void Forwarder::check_invariants() const {
+  // PIT entry conservation: every insert left the table through exactly one
+  // of Data satisfaction, lifetime expiry or a NACK, or is still resident.
+  NDNP_INVARIANT_CHECK("forwarder",
+                       stats_.pit_inserts == stats_.pit_satisfied + stats_.pit_expirations +
+                                                 stats_.pit_nack_erased + pit_.size(),
+                       "%s: pit_inserts=%llu != satisfied=%llu + expired=%llu + "
+                       "nack_erased=%llu + resident=%zu",
+                       name().c_str(), static_cast<unsigned long long>(stats_.pit_inserts),
+                       static_cast<unsigned long long>(stats_.pit_satisfied),
+                       static_cast<unsigned long long>(stats_.pit_expirations),
+                       static_cast<unsigned long long>(stats_.pit_nack_erased), pit_.size());
+  // Interest disposition: at quiescence every received interest was
+  // resolved through exactly one of the handler's exit paths.
+  const std::uint64_t dispositions = stats_.nonce_drops + stats_.exposed_hits +
+                                     stats_.delayed_hits + stats_.collapsed_interests +
+                                     stats_.scope_drops + stats_.no_route_drops +
+                                     stats_.pit_overflows + stats_.pit_inserts;
+  NDNP_INVARIANT_CHECK("forwarder", stats_.interests_received == dispositions,
+                       "%s: interests_received=%llu != dispositions=%llu", name().c_str(),
+                       static_cast<unsigned long long>(stats_.interests_received),
+                       static_cast<unsigned long long>(dispositions));
+  cs_.check_integrity();
+  check_face_conservation();
 }
 
 }  // namespace ndnp::sim

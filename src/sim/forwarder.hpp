@@ -88,6 +88,12 @@ struct ForwarderStats {
   std::uint64_t unsolicited_data = 0;
   std::uint64_t pit_expirations = 0;
   std::uint64_t data_forwarded = 0;
+  // PIT entry life-cycle ledger (conservation law checked by
+  // check_invariants(): inserts == satisfied + expirations + nack_erased +
+  // resident entries).
+  std::uint64_t pit_inserts = 0;
+  std::uint64_t pit_satisfied = 0;
+  std::uint64_t pit_nack_erased = 0;
 };
 
 class Forwarder final : public Node {
@@ -113,6 +119,18 @@ class Forwarder final : public Node {
   [[nodiscard]] const core::CachePrivacyPolicy& policy() const noexcept { return *policy_; }
   [[nodiscard]] std::size_t pit_size() const noexcept { return pit_.size(); }
 
+  /// Shrink or grow the PIT capacity mid-run (0 = unlimited). Used by the
+  /// fault engine's PIT-squeeze; existing entries above a shrunken capacity
+  /// stay resident and drain naturally — only new inserts are refused.
+  void set_pit_capacity(std::size_t capacity) noexcept { config_.pit_capacity = capacity; }
+
+  /// Structural invariants of this forwarder: the PIT entry-conservation
+  /// ledger, interest-disposition accounting, CS integrity and per-face
+  /// packet conservation. Only meaningful at quiescence (drained
+  /// scheduler); throws util::InvariantViolation on breach, no-op with
+  /// -DNDNP_INVARIANT=0.
+  void check_invariants() const;
+
   /// Publish forwarder, content-store and policy counters into `registry`
   /// under `prefix` ("<prefix>.interests_received", "<prefix>.cs.*", ...).
   /// Adds current totals; call once per snapshot.
@@ -132,6 +150,9 @@ class Forwarder final : public Node {
     std::vector<Downstream> downstreams;
     std::set<std::uint64_t> nonces;
     util::SimTime created_at = util::kTimeUnset;
+    /// created_at + clamped lifetime: the expiry timer fires exactly here,
+    /// so any later observation of this entry is a leak (invariant).
+    util::SimTime expires_at = util::kTimeUnset;
     std::uint64_t version = 0;  // guards the timeout event against reuse
   };
 

@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <memory>
 
+#include "sim/faults.hpp"
 #include "util/rng.hpp"
 #include "util/sim_time.hpp"
 
@@ -50,6 +51,10 @@ struct LinkConfig {
   /// over the link, in either direction, is recorded (including packets
   /// the link then loses — the tap sits at the sender).
   std::shared_ptr<PacketTap> tap;
+  /// Deterministic fault injection (sim/faults.hpp). Disabled by default;
+  /// a disabled config adds zero overhead and zero RNG draws, so existing
+  /// experiments are bit-identical with or without this field.
+  LinkFaultConfig faults;
 
   /// Sample the total one-way delay for a packet of `wire_bytes`.
   [[nodiscard]] util::SimDuration sample_delay(util::Rng& rng, std::size_t wire_bytes) const;

@@ -5,7 +5,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/invariant.hpp"
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
 #include "util/tracing.hpp"
 
 namespace ndnp::sim {
@@ -17,8 +19,20 @@ std::pair<FaceId, FaceId> connect(Node& a, Node& b, const LinkConfig& config) {
   if (&a == &b) throw std::invalid_argument("connect: cannot link a node to itself");
   const FaceId fa = a.faces_.size();
   const FaceId fb = b.faces_.size();
-  a.faces_.push_back({.peer = &b, .peer_face = fb, .config = config});
-  b.faces_.push_back({.peer = &a, .peer_face = fa, .config = config});
+  Node::FaceEnd ea;
+  ea.peer = &b;
+  ea.peer_face = fb;
+  ea.config = config;
+  Node::FaceEnd eb;
+  eb.peer = &a;
+  eb.peer_face = fa;
+  eb.config = config;
+  if (config.faults.enabled()) {
+    ea.fault_state = std::make_unique<LinkFaultState>(config.faults, 0);
+    eb.fault_state = std::make_unique<LinkFaultState>(config.faults, 1);
+  }
+  a.faces_.push_back(std::move(ea));
+  b.faces_.push_back(std::move(eb));
   return {fa, fb};
 }
 
@@ -28,9 +42,12 @@ void Node::receive_nack(const ndn::Nack& nack, FaceId) {
 }
 
 void Node::transmit(FaceId face, std::size_t wire_bytes, std::function<void()> deliver,
-                    const char* kind, const std::string& name_uri) {
+                    const char* kind, const std::string& name_uri,
+                    util::SimDuration extra_delay) {
   FaceEnd& end = faces_.at(face);
+  ++end.accounting.packets_out;
   if (end.config.sample_loss(rng_)) {
+    ++end.accounting.losses;
     util::log(util::LogLevel::kDebug, "%s: %s %s lost on face %zu", name_.c_str(), kind,
               name_uri.c_str(), face);
     NDNP_TRACE_EVENT(util::TraceEventType::kLinkDrop, name_, scheduler_.now(), name_uri,
@@ -52,6 +69,7 @@ void Node::transmit(FaceId face, std::size_t wire_bytes, std::function<void()> d
       delay += tx;
     }
   }
+  delay += extra_delay;
   NDNP_TRACE_EVENT(util::TraceEventType::kLinkEnqueue, name_, scheduler_.now(), name_uri,
                    std::string("kind=") + kind, static_cast<std::int64_t>(face), delay,
                    static_cast<std::int64_t>(wire_bytes));
@@ -71,12 +89,97 @@ void Node::transmit(FaceId face, std::size_t wire_bytes, std::function<void()> d
     };
   }
 #endif
+  // Close the conservation ledger at delivery time — only where fault
+  // injection is active (the wrapper costs an allocation per packet, which
+  // benign hot paths do not pay; face indices are stable, so capturing the
+  // index survives later connect() reallocation of faces_).
+  if (end.fault_state != nullptr) {
+    deliver = [this, face, inner = std::move(deliver)] {
+      ++faces_[face].accounting.deliveries;
+      inner();
+    };
+  }
   scheduler_.schedule_in(delay, std::move(deliver));
+}
+
+namespace {
+
+// transmit_packet needs one generic spelling for "this packet's name" and
+// "hand this packet to the peer"; the overloads below provide it for the
+// three packet types.
+const ndn::Name& packet_name(const ndn::Interest& interest) { return interest.name; }
+const ndn::Name& packet_name(const ndn::Data& data) { return data.name; }
+const ndn::Name& packet_name(const ndn::Nack& nack) { return nack.interest.name; }
+
+void dispatch(Node& peer, FaceId face, const ndn::Interest& packet) {
+  peer.receive_interest(packet, face);
+}
+void dispatch(Node& peer, FaceId face, const ndn::Data& packet) {
+  peer.receive_data(packet, face);
+}
+void dispatch(Node& peer, FaceId face, const ndn::Nack& packet) {
+  peer.receive_nack(packet, face);
+}
+
+}  // namespace
+
+template <typename Packet>
+void Node::transmit_packet(FaceId face, const Packet& packet, const char* kind) {
+  FaceEnd& end = faces_.at(face);
+  Node* peer = end.peer;
+  const FaceId peer_face = end.peer_face;
+  const std::string uri = packet_name(packet).to_uri();
+
+  const Packet* to_send = &packet;
+  Packet corrupted;
+  util::SimDuration extra_delay = 0;
+  int copies = 1;
+  if (end.fault_state != nullptr) {
+    const FaultAction action = end.fault_state->on_packet(scheduler_.now());
+    if (action.any())
+      NDNP_TRACE_EVENT(util::TraceEventType::kFaultInject, name_, scheduler_.now(), uri,
+                       std::string("cause=") + (action.cause ? action.cause : "?") +
+                           " kind=" + kind,
+                       static_cast<std::int64_t>(face), action.extra_delay);
+    if (action.drop) {
+      ++end.accounting.packets_out;
+      ++end.accounting.losses;
+      util::log(util::LogLevel::kDebug, "%s: %s %s dropped by fault (%s) on face %zu",
+                name_.c_str(), kind, uri.c_str(), action.cause ? action.cause : "?", face);
+      NDNP_TRACE_EVENT(util::TraceEventType::kLinkDrop, name_, scheduler_.now(), uri,
+                       std::string("kind=") + kind + " cause=" +
+                           (action.cause ? action.cause : "?"),
+                       static_cast<std::int64_t>(face));
+      return;
+    }
+    if (action.corrupt) {
+      std::optional<Packet> mangled = end.fault_state->corrupt(packet);
+      if (!mangled.has_value()) {
+        // The bit flips broke the TLV framing: the receiver would discard
+        // the packet as garbage, so it is dropped here.
+        ++end.accounting.packets_out;
+        ++end.accounting.losses;
+        NDNP_TRACE_EVENT(util::TraceEventType::kLinkDrop, name_, scheduler_.now(), uri,
+                         std::string("kind=") + kind + " cause=corrupt_garbage",
+                         static_cast<std::int64_t>(face));
+        return;
+      }
+      corrupted = std::move(*mangled);
+      to_send = &corrupted;
+    }
+    extra_delay = action.extra_delay;
+    if (action.duplicate) copies = 2;
+  }
+  for (int i = 0; i < copies; ++i) {
+    transmit(
+        face, to_send->wire_size(),
+        [peer, peer_face, copy = *to_send] { dispatch(*peer, peer_face, copy); }, kind, uri,
+        extra_delay);
+  }
 }
 
 void Node::send_interest(FaceId face, const ndn::Interest& interest) {
   Node* peer = faces_.at(face).peer;
-  const FaceId peer_face = faces_.at(face).peer_face;
   if (const auto& tap = faces_.at(face).config.tap) {
     tap->record({.sent_at = scheduler_.now(),
                  .kind = PacketKind::kInterest,
@@ -89,15 +192,11 @@ void Node::send_interest(FaceId face, const ndn::Interest& interest) {
   NDNP_TRACE_EVENT(util::TraceEventType::kInterestTx, name_, scheduler_.now(),
                    interest.name.to_uri(), interest.private_req ? "private=1" : "private=0",
                    static_cast<std::int64_t>(face));
-  transmit(
-      face, interest.wire_size(),
-      [peer, peer_face, interest] { peer->receive_interest(interest, peer_face); },
-      "interest", interest.name.to_uri());
+  transmit_packet(face, interest, "interest");
 }
 
 void Node::send_data(FaceId face, const ndn::Data& data) {
   Node* peer = faces_.at(face).peer;
-  const FaceId peer_face = faces_.at(face).peer_face;
   if (const auto& tap = faces_.at(face).config.tap) {
     tap->record({.sent_at = scheduler_.now(),
                  .kind = PacketKind::kData,
@@ -110,15 +209,11 @@ void Node::send_data(FaceId face, const ndn::Data& data) {
   NDNP_TRACE_EVENT(util::TraceEventType::kDataTx, name_, scheduler_.now(), data.name.to_uri(),
                    {}, static_cast<std::int64_t>(face),
                    static_cast<std::int64_t>(data.wire_size()));
-  transmit(
-      face, data.wire_size(),
-      [peer, peer_face, data] { peer->receive_data(data, peer_face); },
-      "data", data.name.to_uri());
+  transmit_packet(face, data, "data");
 }
 
 void Node::send_nack(FaceId face, const ndn::Nack& nack) {
   Node* peer = faces_.at(face).peer;
-  const FaceId peer_face = faces_.at(face).peer_face;
   if (const auto& tap = faces_.at(face).config.tap) {
     tap->record({.sent_at = scheduler_.now(),
                  .kind = PacketKind::kNack,
@@ -130,16 +225,52 @@ void Node::send_nack(FaceId face, const ndn::Nack& nack) {
   }
   NDNP_TRACE_EVENT(util::TraceEventType::kNackTx, name_, scheduler_.now(),
                    nack.interest.name.to_uri(), {}, static_cast<std::int64_t>(face));
-  transmit(
-      face, nack.wire_size(),
-      [peer, peer_face, nack] { peer->receive_nack(nack, peer_face); },
-      "nack", nack.interest.name.to_uri());
+  transmit_packet(face, nack, "nack");
 }
 
 const Node& Node::peer(FaceId face) const {
   const FaceEnd& end = faces_.at(face);
   if (end.peer == nullptr) throw std::logic_error("Node::peer: unconnected face");
   return *end.peer;
+}
+
+const FaceAccounting& Node::face_accounting(FaceId face) const {
+  return faces_.at(face).accounting;
+}
+
+const LinkFaultCounters* Node::face_fault_counters(FaceId face) const {
+  const FaceEnd& end = faces_.at(face);
+  return end.fault_state ? &end.fault_state->counters() : nullptr;
+}
+
+void Node::check_face_conservation() const {
+  for (FaceId face = 0; face < faces_.size(); ++face) {
+    const FaceEnd& end = faces_[face];
+    if (end.fault_state == nullptr) continue;  // deliveries not tracked
+    const FaceAccounting& acct = end.accounting;
+    NDNP_INVARIANT_CHECK("link", acct.packets_out == acct.losses + acct.deliveries,
+                         "%s face %zu: packets_out=%llu != losses=%llu + deliveries=%llu",
+                         name_.c_str(), face,
+                         static_cast<unsigned long long>(acct.packets_out),
+                         static_cast<unsigned long long>(acct.losses),
+                         static_cast<unsigned long long>(acct.deliveries));
+  }
+}
+
+void Node::export_fault_metrics(util::MetricsRegistry& registry,
+                                const std::string& prefix) const {
+  LinkFaultCounters faults;
+  FaceAccounting acct;
+  for (const FaceEnd& end : faces_) {
+    if (end.fault_state != nullptr) faults += end.fault_state->counters();
+    acct.packets_out += end.accounting.packets_out;
+    acct.losses += end.accounting.losses;
+    acct.deliveries += end.accounting.deliveries;
+  }
+  faults.export_metrics(registry, prefix + ".faults");
+  registry.counter(prefix + ".link.packets_out").inc(acct.packets_out);
+  registry.counter(prefix + ".link.losses").inc(acct.losses);
+  registry.counter(prefix + ".link.deliveries").inc(acct.deliveries);
 }
 
 }  // namespace ndnp::sim

@@ -10,16 +10,34 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "ndn/packet.hpp"
+#include "sim/faults.hpp"
 #include "sim/link.hpp"
 #include "sim/scheduler.hpp"
+
+namespace ndnp::util {
+class MetricsRegistry;
+}
 
 namespace ndnp::sim {
 
 using FaceId = std::size_t;
+
+/// Per-face packet conservation ledger: every transmit attempt either gets
+/// lost (link loss or injected fault) or delivered — nothing is invented,
+/// nothing silently vanishes. `deliveries` is tracked only on faces with
+/// fault injection enabled (counting it costs a callback wrapper per
+/// packet, which benign hot paths do not pay); on those faces, at
+/// quiescence, packets_out == losses + deliveries.
+struct FaceAccounting {
+  std::uint64_t packets_out = 0;
+  std::uint64_t losses = 0;
+  std::uint64_t deliveries = 0;
+};
 
 class Node {
  public:
@@ -56,6 +74,23 @@ class Node {
   /// Peer node on the far end of `face` (diagnostics/topology checks).
   [[nodiscard]] const Node& peer(FaceId face) const;
 
+  /// Outgoing packet-conservation ledger of `face` (see FaceAccounting).
+  [[nodiscard]] const FaceAccounting& face_accounting(FaceId face) const;
+
+  /// Fault counters of `face`'s outgoing direction; nullptr when the face
+  /// has no fault injection configured.
+  [[nodiscard]] const LinkFaultCounters* face_fault_counters(FaceId face) const;
+
+  /// Invariant: on every fault-injected face, packets_out == losses +
+  /// deliveries. Only meaningful at quiescence (drained scheduler —
+  /// in-flight packets are neither); the chaos harness calls this after
+  /// every episode. Throws util::InvariantViolation on breach.
+  void check_face_conservation() const;
+
+  /// Publish per-face fault counters summed over this node's faces as
+  /// "<prefix>.faults.*" plus the conservation ledger totals.
+  void export_fault_metrics(util::MetricsRegistry& registry, const std::string& prefix) const;
+
  protected:
   [[nodiscard]] util::Rng& rng() noexcept { return rng_; }
 
@@ -66,12 +101,26 @@ class Node {
     LinkConfig config;
     /// Outgoing transmission frontier for fifo_queue links.
     util::SimTime busy_until = util::kTimeZero;
+    /// Fault engine of this face's outgoing direction; created by
+    /// connect() only when config.faults.enabled(), so fault-free links
+    /// keep their exact pre-fault behavior and RNG streams.
+    std::unique_ptr<LinkFaultState> fault_state;
+    FaceAccounting accounting;
   };
 
   /// Common transmission path: samples loss/delay (plus queueing when
-  /// enabled) and schedules `deliver` at the arrival time.
+  /// enabled) and schedules `deliver` at the arrival time, `extra_delay`
+  /// (fault-injected reorder/spike hold-back) later.
   void transmit(FaceId face, std::size_t wire_bytes, std::function<void()> deliver,
-                const char* kind, const std::string& name_uri);
+                const char* kind, const std::string& name_uri,
+                util::SimDuration extra_delay = 0);
+
+  /// Shared fault-aware tail of send_interest/send_data/send_nack:
+  /// consults the face's fault engine (drop / corrupt / duplicate / delay)
+  /// and hands the surviving copies to transmit(). Defined in node.cpp —
+  /// only the three send_* methods instantiate it.
+  template <typename Packet>
+  void transmit_packet(FaceId face, const Packet& packet, const char* kind);
 
   Scheduler& scheduler_;
   std::string name_;

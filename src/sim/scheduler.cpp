@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/invariant.hpp"
 #include "util/tracing.hpp"
 
 namespace ndnp::sim {
@@ -24,7 +25,19 @@ bool Scheduler::run_one() {
   // practice given pop() immediately discards the slot.
   Item item = std::move(const_cast<Item&>(queue_.top()));
   queue_.pop();
+  // Dispatch order is the determinism backbone: time never runs backwards,
+  // and equal-time events run in schedule (seq) order.
+  NDNP_INVARIANT_CHECK("scheduler", item.when >= now_,
+                       "event at t=%lld dispatched after clock reached %lld",
+                       static_cast<long long>(item.when), static_cast<long long>(now_));
+  NDNP_INVARIANT_CHECK("scheduler", item.when > now_ || item.seq > last_seq_ || processed_ == 0,
+                       "equal-time events dispatched out of schedule order (seq %llu after "
+                       "%llu at t=%lld)",
+                       static_cast<unsigned long long>(item.seq),
+                       static_cast<unsigned long long>(last_seq_),
+                       static_cast<long long>(item.when));
   now_ = item.when;
+  last_seq_ = item.seq;
   ++processed_;
   {
     NDNP_TRACE_SCOPE("scheduler", "scheduler", "dispatch");

@@ -60,6 +60,9 @@ class Scheduler {
   util::SimTime now_ = util::kTimeZero;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+  /// Sequence number of the most recently dispatched event; together with
+  /// now_ this lets run_one() assert (time, seq) dispatch order.
+  std::uint64_t last_seq_ = 0;
 };
 
 }  // namespace ndnp::sim

@@ -360,11 +360,20 @@ ForensicsReport probe_forensics(const std::vector<FlatEvent>& events) {
   // recording order, so each bucket is already sorted by time.
   std::map<std::string, std::vector<const FlatEvent*>> lookups;
   std::map<std::string, std::vector<const FlatEvent*>> decisions;
+  // Fault attribution: link faults are keyed by the packet name they hit;
+  // node faults (empty name: CS wipe, PIT squeeze) affect every name.
+  std::map<std::string, std::vector<const FlatEvent*>> faults;
+  std::vector<const FlatEvent*> node_faults;
+  std::size_t fault_events = 0;
   for (const FlatEvent& ev : events) {
-    if (ev.type == "cs_lookup")
+    if (ev.type == "cs_lookup") {
       lookups[ev.name].push_back(&ev);
-    else if (ev.type == "policy_decision")
+    } else if (ev.type == "policy_decision") {
       decisions[ev.name].push_back(&ev);
+    } else if (ev.type == "fault_inject") {
+      ++fault_events;
+      (ev.name.empty() ? node_faults : faults[ev.name]).push_back(&ev);
+    }
   }
 
   const auto first_at_or_after = [](const std::vector<const FlatEvent*>& bucket,
@@ -374,6 +383,29 @@ ForensicsReport probe_forensics(const std::vector<FlatEvent>& events) {
   };
 
   ForensicsReport report;
+  report.fault_events = fault_events;
+
+  const auto attribute_faults = [&](ProbeForensics& probe, util::SimTime window_start) {
+    std::vector<std::string> causes;
+    const auto scan = [&](const std::vector<const FlatEvent*>& bucket) {
+      for (auto it = first_at_or_after(bucket, window_start);
+           it != bucket.end() && (*it)->t <= probe.probe_time; ++it) {
+        ++probe.faults;
+        std::string cause = detail_field((*it)->detail, "cause");
+        if (cause.empty()) cause = detail_field((*it)->detail, "fault");
+        if (!cause.empty() &&
+            std::find(causes.begin(), causes.end(), cause) == causes.end())
+          causes.push_back(cause);
+      }
+    };
+    if (const auto fit = faults.find(probe.name); fit != faults.end()) scan(fit->second);
+    scan(node_faults);
+    for (const std::string& cause : causes) {
+      if (!probe.fault_causes.empty()) probe.fault_causes += ',';
+      probe.fault_causes += cause;
+    }
+  };
+
   for (const FlatEvent& ev : events) {
     if (ev.type != "attack_probe") continue;
     ProbeForensics probe;
@@ -431,31 +463,54 @@ ForensicsReport probe_forensics(const std::vector<FlatEvent>& events) {
       case ProbeVerdict::kUnknown: ++report.unknown; break;
     }
     if (probe.agrees) ++report.agreements;
+    attribute_faults(probe, ev.t - ev.a);
+    if (probe.faults > 0) ++report.faulted_probes;
     report.probes.push_back(std::move(probe));
   }
   return report;
 }
 
 std::string ForensicsReport::format_table() const {
+  // The faults column (and the fault summary fields) appear only when the
+  // capture holds fault_inject events — clean-run output is unchanged.
+  const bool with_faults = fault_events > 0;
   std::ostringstream out;
-  out << "round  t_ms        rtt_ms   truth  verdict        by      agree  name\n";
-  char row[256];
+  out << "round  t_ms        rtt_ms   truth  verdict        by      agree";
+  if (with_faults) out << "  faults";
+  out << "  name\n";
+  char row[320];
   for (const ProbeForensics& probe : probes) {
-    std::snprintf(row, sizeof row, "%-6lld %-11.3f %-8.3f %-6s %-14s %-7s %-6s %s\n",
+    std::snprintf(row, sizeof row, "%-6lld %-11.3f %-8.3f %-6s %-14s %-7s %-6s",
                   static_cast<long long>(probe.round),
                   static_cast<double>(probe.probe_time) / 1e6,
                   static_cast<double>(probe.rtt) / 1e6, probe.truth.c_str(),
                   std::string(to_string(probe.verdict)).c_str(), probe.decided_by.c_str(),
-                  probe.agrees ? "yes" : "no", probe.name.c_str());
+                  probe.agrees ? "yes" : "no");
     out << row;
+    if (with_faults) {
+      const std::string cell =
+          probe.faults == 0
+              ? std::string("-")
+              : std::to_string(probe.faults) +
+                    (probe.fault_causes.empty() ? "" : ":" + probe.fault_causes);
+      std::snprintf(row, sizeof row, " %-7s", cell.c_str());
+      out << row;
+    }
+    out << ' ' << probe.name << '\n';
   }
-  char summary[256];
+  char summary[320];
   std::snprintf(summary, sizeof summary,
                 "probes=%zu true_hit=%zu delayed_hit=%zu simulated_miss=%zu true_miss=%zu "
-                "unknown=%zu agreement=%.4f\n",
+                "unknown=%zu agreement=%.4f",
                 probes.size(), true_hits, delayed_hits, simulated_misses, true_misses,
                 unknown, agreement_rate());
   out << summary;
+  if (with_faults) {
+    std::snprintf(summary, sizeof summary, " fault_events=%zu faulted_probes=%zu",
+                  fault_events, faulted_probes);
+    out << summary;
+  }
+  out << '\n';
   return out.str();
 }
 

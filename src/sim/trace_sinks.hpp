@@ -91,6 +91,12 @@ struct ProbeForensics {
   /// Whether the verdict's cached/uncached view matches the probe's truth
   /// annotation (kUnknown never agrees).
   bool agrees = false;
+  /// fault_inject events inside the probe's RTT window: link faults on this
+  /// probe's name plus node faults (CS wipe / PIT squeeze, which hit every
+  /// name). A disagreement or Unknown verdict with faults != 0 is
+  /// attributable to injected chaos rather than a forensics/tracer bug.
+  std::int64_t faults = 0;
+  std::string fault_causes;      // comma-joined distinct causes, "" when clean
 };
 
 struct ForensicsReport {
@@ -101,6 +107,11 @@ struct ForensicsReport {
   std::size_t true_misses = 0;
   std::size_t unknown = 0;
   std::size_t agreements = 0;
+  /// Total fault_inject events in the capture / probes with faults in
+  /// their RTT window (both 0 on a clean run — the summary line then omits
+  /// the fault fields entirely, keeping clean outputs unchanged).
+  std::size_t fault_events = 0;
+  std::size_t faulted_probes = 0;
 
   [[nodiscard]] double agreement_rate() const noexcept {
     return probes.empty() ? 0.0

@@ -27,15 +27,33 @@ ReplayResult replay(const Trace& trace, const ReplayConfig& config) {
                                   config.cache_admission_probability);
   util::Rng rng(config.seed ^ 0x6a09e667f3bcc909ULL);
 
+  // The degraded-network chain draws from its own stream so that enabling
+  // it never shifts the delay-spread draws above — the cache state (and
+  // therefore the hit-rate columns) is identical with and without loss.
+  util::GilbertElliottChain upstream_chain(config.upstream_loss);
+  util::Rng loss_rng(config.seed ^ 0xbb67ae8584caa73bULL);
+  ReplayResult result;
+
   const core::CachePrivacyEngine::FetchFn fetch = [&](const ndn::Interest& interest) {
     const double spread = rng.uniform(0.5, 1.5);
-    const auto delay = static_cast<util::SimDuration>(
+    auto delay = static_cast<util::SimDuration>(
         static_cast<double>(config.upstream_delay) * spread);
+    if (config.upstream_loss.enabled()) {
+      util::SimDuration penalty = 0;
+      // Retry cap: a loss=1 chain would otherwise never deliver.
+      for (int attempt = 0; attempt < 64 && upstream_chain.sample_loss(loss_rng); ++attempt) {
+        ++result.upstream_losses;
+        penalty += config.upstream_retry_penalty;
+      }
+      if (penalty > 0) {
+        ++result.degraded_fetches;
+        delay += penalty;
+      }
+    }
     return std::pair{
         ndn::make_data(interest.name, std::string(64, 'x'), "origin", "origin-key"), delay};
   };
 
-  ReplayResult result;
   double total_response_ms = 0.0;
   NDNP_TRACE_SCOPE("replayer", "replay", "replay");
   for (const TraceRecord& record : trace.records) {

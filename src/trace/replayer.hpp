@@ -16,6 +16,7 @@
 #include "cache/content_store.hpp"
 #include "core/engine.hpp"
 #include "trace/trace.hpp"
+#include "util/fault_model.hpp"
 #include "util/metrics.hpp"
 
 namespace ndnp::trace {
@@ -33,6 +34,13 @@ struct ReplayConfig {
   util::SimDuration upstream_delay = util::millis(40);
   /// Probability of admitting fetched content into the cache (1 = always).
   double cache_admission_probability = 1.0;
+  /// Degraded-network ablation: a Gilbert–Elliott chain runs against the
+  /// upstream fetch path. Each lost transmission is retried after
+  /// `upstream_retry_penalty` (a retransmission timeout), compounding until
+  /// the chain delivers — so burst loss shows up as fetch-delay inflation,
+  /// never as a cache-state divergence. Disabled by default.
+  util::GilbertElliottConfig upstream_loss{};
+  util::SimDuration upstream_retry_penalty = util::millis(80);
   std::uint64_t seed = 1;
   /// Optional: when set, the engine/cs/policy counters are exported into
   /// this registry (prefix "engine") after the replay completes.
@@ -42,6 +50,11 @@ struct ReplayConfig {
 struct ReplayResult {
   core::EngineStats stats;
   std::uint64_t private_requests = 0;
+  /// Upstream transmissions lost to the Gilbert–Elliott chain (each one
+  /// cost a retry penalty); 0 unless `upstream_loss` is enabled.
+  std::uint64_t upstream_losses = 0;
+  /// Fetches that needed at least one retry.
+  std::uint64_t degraded_fetches = 0;
 
   /// The paper's Figure 5 metric, in percent.
   [[nodiscard]] double hit_rate_pct() const noexcept { return 100.0 * stats.hit_rate(); }

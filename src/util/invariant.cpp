@@ -1,0 +1,49 @@
+#include "util/invariant.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace ndnp::util {
+
+namespace {
+
+thread_local std::uint64_t t_violations = 0;
+
+std::string make_what(const std::string& component, const std::string& message,
+                      const char* file, int line) {
+  std::string what = "invariant violated [";
+  what += component;
+  what += "] ";
+  what += message;
+  what += " (";
+  what += file;
+  what += ":";
+  what += std::to_string(line);
+  what += ")";
+  return what;
+}
+
+}  // namespace
+
+InvariantViolation::InvariantViolation(std::string component, std::string message,
+                                       const char* file, int line)
+    : std::logic_error(make_what(component, message, file, line)),
+      component_(std::move(component)),
+      message_(std::move(message)),
+      file_(file),
+      line_(line) {}
+
+std::uint64_t invariant_violations() noexcept { return t_violations; }
+
+void invariant_failed(const char* component, const char* file, int line, const char* fmt,
+                      ...) {
+  char buf[512];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  ++t_violations;
+  throw InvariantViolation(component, buf, file, line);
+}
+
+}  // namespace ndnp::util

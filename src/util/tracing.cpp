@@ -34,6 +34,7 @@ std::string_view to_string(TraceEventType type) noexcept {
     case TraceEventType::kPolicyDecision: return "policy_decision";
     case TraceEventType::kAttackProbe: return "attack_probe";
     case TraceEventType::kReplayRequest: return "replay_request";
+    case TraceEventType::kFaultInject: return "fault_inject";
     case TraceEventType::kSpan: return "span";
     case TraceEventType::kMark: return "mark";
   }
@@ -67,6 +68,8 @@ std::string_view default_component(TraceEventType type) noexcept {
       return "attack";
     case TraceEventType::kReplayRequest:
       return "replay";
+    case TraceEventType::kFaultInject:
+      return "fault";
     case TraceEventType::kSpan:
       return "profile";
     case TraceEventType::kMark:

@@ -69,6 +69,7 @@ enum class TraceEventType : std::uint8_t {
   kPolicyDecision,  // detail: action=... k=<k_C> c=<c_C>; a = artificial delay ns
   kAttackProbe,     // a = measured RTT ns, b = probe round; detail: truth=hit|miss
   kReplayRequest,   // one replayed trace request; detail: outcome=...
+  kFaultInject,     // injected fault fired; detail: cause=... (see sim/faults.hpp)
   kSpan,            // profiling span (a = wall-clock duration ns)
   kMark,            // free-form instant event
 };

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "runner/experiments.hpp"
+#include "util/fault_model.hpp"
 
 namespace {
 
@@ -71,6 +72,20 @@ TEST(Golden, Fig5aMatchesSingleThreadedGoldenVectors) {
     const runner::Fig5aResult result = runner::run_fig5a(fig5a_config(seed));
     expect_matches_golden("fig5a_seed" + std::to_string(seed), result.format_table());
   }
+}
+
+// Degraded network: the same grid with 5 % Gilbert–Elliott burst loss
+// (mean burst 4 packets) on the upstream fetch path. The loss chain draws
+// from its own RNG stream, so the hit-rate table must stay byte-identical
+// to the clean fig5a_seed99 vector; the per-cell mean response delays are
+// what the ablation moves, and they are locked in tolerance-0 too.
+TEST(Golden, Fig5aDegradedNetworkMatchesGoldenVector) {
+  runner::Fig5aConfig config = fig5a_config(99);
+  config.upstream_loss = util::GilbertElliottConfig::from_loss_and_burst(0.05, 4.0);
+  const runner::Fig5aResult result = runner::run_fig5a(config);
+  expect_matches_golden("fig5a_seed99", result.format_table());
+  expect_matches_golden("fig5a_degraded_loss5_seed99",
+                        result.format_table() + "\n" + result.format_delay_table());
 }
 
 // --- Figure 4(a): utility loss of uniform vs exponential k -----------------

@@ -188,6 +188,41 @@ TEST(TlvRobustness, SeededBitFlipsNeverCrashOrHang) {
   }
 }
 
+/// The fault engine's corruption path (sim/faults.hpp) is exactly this
+/// contract driven from the simulator: encode, flip 1..N seeded bits,
+/// decode. Every outcome must be "valid packet" (delivered corrupted) or
+/// "TlvError" (dropped as garbage) — anything else is UB the chaos runs
+/// would hit. Replay its bit-flip recipe directly against the corpus, at
+/// higher flip counts than the engine's default.
+TEST(TlvRobustness, FaultEngineStyleCorruptionDecodesOrThrows) {
+  util::Rng rng(0xfa017ULL);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::minutes(2);
+  for (const CorpusItem& item : build_corpus()) {
+    SCOPED_TRACE(item.label);
+    std::size_t delivered = 0;
+    std::size_t dropped = 0;
+    for (int round = 0; round < 600; ++round) {
+      Buffer mutated = item.wire;
+      // Mirror LinkFaultState::corrupt: 1 + uniform(max_flips) independent
+      // bit flips over the whole wire (flips may collide and cancel).
+      const std::uint64_t flips = 1 + rng.uniform_u64(8);
+      for (std::uint64_t f = 0; f < flips; ++f) {
+        const std::uint64_t bit = rng.uniform_u64(mutated.size() * 8);
+        mutated[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      }
+      const bool ok = decode_guarded(item.kind, mutated,
+                                     item.label + " corrupt#" + std::to_string(round));
+      (ok ? delivered : dropped) += 1;
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << item.label << ": corruption corpus exceeded its time budget";
+    }
+    // Both fates occur for every corpus item: the engine's drop-as-garbage
+    // and deliver-corrupted branches are both reachable.
+    EXPECT_GT(delivered + dropped, 0u);
+    EXPECT_GT(dropped, 0u) << item.label << ": no corruption ever broke the framing";
+  }
+}
+
 /// Adversarial length claims: a 1-byte buffer whose length field promises
 /// gigabytes must throw before any allocation is attempted.
 TEST(TlvRobustness, HugeLengthClaimsThrow) {

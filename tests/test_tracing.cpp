@@ -267,6 +267,48 @@ TEST(TraceSinks, ForensicsDistinguishesAllVerdictClasses) {
   const std::string table = report.format_table();
   EXPECT_NE(table.find("TrueHit"), std::string::npos);
   EXPECT_NE(table.find("probes=5"), std::string::npos);
+  // No fault_inject events in the capture: the faults column and summary
+  // fields stay out, keeping clean-run output byte-identical.
+  EXPECT_EQ(report.fault_events, 0u);
+  EXPECT_EQ(table.find("faults"), std::string::npos);
+  EXPECT_EQ(table.find("fault_events"), std::string::npos);
+}
+
+TEST(TraceSinks, ForensicsAttributesFaultsInsideProbeWindows) {
+  std::vector<sim::FlatEvent> events;
+  // Probe 0 (window [50, 150]): a link fault on its own name fired inside
+  // the window — its miss verdict is attributable to the injected loss.
+  events.push_back(make_event(80, "fault_inject", "R", "/p/0", "cause=burst kind=interest"));
+  events.push_back(make_event(100, "cs_lookup", "R", "/p/0", "result=miss depth=0"));
+  events.push_back(make_event(150, "attack_probe", "Adv", "/p/0", "truth=hit", 100, 0));
+  // Probe 1 (window [150, 300]): a node-level CS wipe (empty name — it hits
+  // every name) lands inside the window.
+  events.push_back(make_event(250, "fault_inject", "R", "", "fault=cs_wipe"));
+  events.push_back(make_event(260, "cs_lookup", "R", "/p/1", "result=miss depth=0"));
+  events.push_back(make_event(300, "attack_probe", "Adv", "/p/1", "truth=miss", 150, 1));
+  // Probe 2 (window [850, 900]): both faults are long past — clean.
+  events.push_back(make_event(880, "cs_lookup", "R", "/p/2", "result=hit depth=1"));
+  events.push_back(
+      make_event(880, "policy_decision", "R", "/p/2", "policy=none action=ExposeHit private=0"));
+  events.push_back(make_event(900, "attack_probe", "Adv", "/p/2", "truth=hit", 50, 2));
+
+  const sim::ForensicsReport report = sim::probe_forensics(events);
+  ASSERT_EQ(report.probes.size(), 3u);
+  EXPECT_EQ(report.fault_events, 2u);
+  EXPECT_EQ(report.faulted_probes, 2u);
+  EXPECT_EQ(report.probes[0].faults, 1);
+  EXPECT_EQ(report.probes[0].fault_causes, "burst");
+  EXPECT_FALSE(report.probes[0].agrees);  // attributable to the fault, not the join
+  EXPECT_EQ(report.probes[1].faults, 1);
+  EXPECT_EQ(report.probes[1].fault_causes, "cs_wipe");
+  EXPECT_EQ(report.probes[2].faults, 0);
+  EXPECT_EQ(report.probes[2].fault_causes, "");
+
+  const std::string table = report.format_table();
+  EXPECT_NE(table.find("faults"), std::string::npos);
+  EXPECT_NE(table.find("1:burst"), std::string::npos);
+  EXPECT_NE(table.find("1:cs_wipe"), std::string::npos);
+  EXPECT_NE(table.find("fault_events=2 faulted_probes=2"), std::string::npos);
 }
 
 #if NDNP_TRACING
