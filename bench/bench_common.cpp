@@ -148,20 +148,9 @@ void run_and_print_timing_figure(const std::string& figure, const std::string& d
   }
   if (!options.trace_out.empty()) sim::write_trace_file(tracer, options.trace_out);
 
-  std::printf("RTT distributions (probability density, as in the paper's PDF plots):\n");
-  const auto [hit_hist, miss_hist] =
-      util::SampleSet::paired_histograms(result.hit_rtts_ms, result.miss_rtts_ms, 24);
-  std::printf("%s\n", util::format_pdf_table(hit_hist, miss_hist, "hit", "miss").c_str());
-
-  std::printf("hit  RTT: mean=%.3f ms  p50=%.3f  p95=%.3f  (n=%zu)\n",
-              result.hit_rtts_ms.mean(), result.hit_rtts_ms.quantile(0.5),
-              result.hit_rtts_ms.quantile(0.95), result.hit_rtts_ms.size());
-  std::printf("miss RTT: mean=%.3f ms  p50=%.3f  p95=%.3f  (n=%zu)\n",
-              result.miss_rtts_ms.mean(), result.miss_rtts_ms.quantile(0.5),
-              result.miss_rtts_ms.quantile(0.95), result.miss_rtts_ms.size());
-  std::printf("\nDistinguishing probability (Bayes-optimal): %.4f\n", result.bayes_accuracy);
-  std::printf("Single-threshold adversary: accuracy %.4f at threshold %.3f ms\n",
-              result.threshold_accuracy, result.threshold_ms);
+  // The report body is shared with the golden regression tests, which lock
+  // its exact bytes at fixed seeds (attack::format_timing_report).
+  std::fputs(attack::format_timing_report(result).c_str(), stdout);
   std::printf("Paper: %s\n", paper_claim.c_str());
   print_footer();
 }

@@ -3,58 +3,35 @@
 //
 // Expected shape: hit rate falls as more content is private (more
 // simulated misses), with the penalty shrinking at larger cache sizes.
+//
+// The grid itself lives in runner::run_fig5b (shared with the golden
+// regression tests, which lock this table at tolerance 0); each cell is an
+// independent run under --jobs, merged in run-index order, so the table is
+// byte-identical for any jobs count.
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "core/policies.hpp"
-#include "core/theory.hpp"
-#include "trace/replayer.hpp"
+#include "runner/experiments.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ndnp;
+  const bench::BenchOptions options = bench::parse_bench_options(argc, argv);
   bench::print_header("Figure 5(b)",
                       "Exponential-Random-Cache hit rate, varying private request share");
 
-  trace::TraceGenConfig gen;
-  gen.num_requests = bench::scale_from_env("NDNP_TRACE_REQUESTS", 200'000);
-  gen.num_objects = bench::scale_from_env("NDNP_TRACE_OBJECTS", 200'000);
-  gen.seed = 2013;
-  const trace::Trace tr = trace::generate_trace(gen);
+  runner::Fig5bConfig config;
+  config.trace_requests = bench::scale_from_env("NDNP_TRACE_REQUESTS", 200'000);
+  config.trace_objects = bench::scale_from_env("NDNP_TRACE_OBJECTS", 200'000);
+  config.jobs = options.jobs;
+  runner::SweepTraceCapture capture;
+  config.capture = options.configure(capture);
 
-  constexpr std::int64_t kAnonymity = 5;
-  constexpr double kEpsilon = 0.005;
-  constexpr double kDelta = 0.05;
-  const auto expo = core::solve_expo_params(kAnonymity, kEpsilon, kDelta);
-  if (!expo) {
-    std::printf("unsolvable exponential parameterization\n");
-    return 1;
-  }
+  const runner::Fig5bResult result = runner::run_fig5b(config);
   std::printf("trace: %zu requests; k=%lld eps=%.3f -> alpha=%.6f K=%lld; eviction: LRU\n\n",
-              tr.size(), static_cast<long long>(kAnonymity), kEpsilon, expo->alpha,
-              static_cast<long long>(expo->domain));
-
-  const std::size_t cache_sizes[] = {2'000, 4'000, 8'000, 16'000, 32'000, 0 /* Inf */};
-  const double fractions[] = {0.05, 0.10, 0.20, 0.40};
-
-  std::printf("%-14s", "private share");
-  for (const std::size_t size : cache_sizes)
-    size == 0 ? std::printf("%10s", "Inf") : std::printf("%10zu", size);
-  std::printf("\n");
-
-  for (const double fraction : fractions) {
-    std::printf("%12.0f%% ", fraction * 100.0);
-    for (const std::size_t size : cache_sizes) {
-      trace::ReplayConfig config;
-      config.cache_capacity = size;
-      config.private_fraction = fraction;
-      config.policy_factory = [&] {
-        return core::RandomCachePolicy::exponential(expo->alpha, expo->domain, 5);
-      };
-      config.seed = 99;
-      std::printf("%9.2f%%", trace::replay(tr, config).hit_rate_pct());
-    }
-    std::printf("\n");
-  }
+              result.trace_size, static_cast<long long>(config.anonymity_k), config.epsilon,
+              result.expo.alpha, static_cast<long long>(result.expo.domain));
+  std::fputs(result.format_table().c_str(), stdout);
+  bench::report_jobs(config.jobs, result.wall_seconds);
 
   std::printf("\nPaper: more private requests -> lower hit rate at every cache size;\n"
               "       curves keep the same rising shape in cache size.\n");

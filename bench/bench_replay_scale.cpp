@@ -1,0 +1,137 @@
+// bench_replay_scale: the million-user scale exercise behind docs/SCALE.md.
+//
+// Streams a synthetic workload (SyntheticWorkload: exponential arrivals,
+// Zipf catalogue — no full trace ever in memory) through the sharded
+// replayer and reports:
+//
+//   - replay throughput (records/sec) at --jobs 1 and --jobs N,
+//   - the parallel speedup (acceptance floor: >= 5x at 8 jobs for the
+//     full-scale run; CI uses a smaller smoke via the NDNP_SCALE_* knobs),
+//   - peak RSS (getrusage), demonstrating the bounded-memory property —
+//     the footprint is chunk buffers + shard cache state, independent of
+//     how many records stream through,
+//   - byte-identity of the merged metrics between the two jobs counts.
+//
+// A deterministic snapshot of the run lands in BENCH_replay_scale.json
+// (MetricsSnapshot JSON, same convention as BENCH_micro_ops.json).
+// Scale knobs (defaults reproduce the headline numbers; CI shrinks them):
+//   NDNP_SCALE_REQUESTS  (default 2'000'000)
+//   NDNP_SCALE_USERS     (default 1'000'000)
+//   NDNP_SCALE_OBJECTS   (default 10'000'000)
+//   NDNP_SCALE_SHARDS    (default 8)
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "core/policies.hpp"
+#include "runner/sharded_replay.hpp"
+#include "trace/stream.hpp"
+#include "util/metrics.hpp"
+
+namespace {
+
+/// Peak resident set size in MiB (ru_maxrss is KiB on Linux).
+double peak_rss_mib() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ndnp;
+  const bench::BenchOptions options = bench::parse_bench_options(argc, argv);
+
+  trace::TraceGenConfig workload_config;
+  workload_config.num_requests = bench::scale_from_env("NDNP_SCALE_REQUESTS", 2'000'000);
+  workload_config.num_users = bench::scale_from_env("NDNP_SCALE_USERS", 1'000'000);
+  workload_config.num_objects = bench::scale_from_env("NDNP_SCALE_OBJECTS", 10'000'000);
+  workload_config.num_domains = 5'000;
+  workload_config.zipf_exponent = 0.8;
+  workload_config.duration_s = 86'400.0;
+  workload_config.seed = 2013;
+  const std::size_t shards = bench::scale_from_env("NDNP_SCALE_SHARDS", 8);
+  const std::size_t parallel_jobs =
+      options.jobs == 1 ? 8 : runner::resolve_jobs(options.jobs);
+
+  bench::print_header("replay-scale",
+                      "streaming sharded replay at million-user scale (docs/SCALE.md)");
+  std::printf("requests=%zu users=%zu objects=%zu shards=%zu jobs=%zu\n\n",
+              workload_config.num_requests, workload_config.num_users,
+              workload_config.num_objects, shards, parallel_jobs);
+
+  const trace::SyntheticWorkload workload(workload_config);
+
+  runner::ShardedReplayConfig config;
+  config.shards = shards;
+  config.chunk_records = 64 * 1024;
+  config.master_seed = 99;
+  config.replay.cache_capacity = 8'000;
+  config.replay.private_fraction = 0.2;
+  config.replay.upstream_loss = options.upstream_loss();
+  config.replay.upstream_retry_penalty = options.upstream_retry_penalty();
+  config.replay.policy_factory = [] {
+    return core::RandomCachePolicy::exponential(0.999, 201, 6);
+  };
+  const runner::TraceSourceFactory source = [&workload] { return workload.open(); };
+
+  const double rss_before_mib = peak_rss_mib();
+
+  config.jobs = 1;
+  const runner::ShardedReplayResult serial = runner::replay_sharded(source, config);
+  const double serial_rps =
+      serial.wall_seconds <= 0.0
+          ? 0.0
+          : static_cast<double>(serial.records) / serial.wall_seconds;
+  std::printf("jobs=1   %10llu records  %8.2f s  %10.0f records/sec\n",
+              static_cast<unsigned long long>(serial.records), serial.wall_seconds,
+              serial_rps);
+
+  config.jobs = parallel_jobs;
+  const runner::ShardedReplayResult parallel = runner::replay_sharded(source, config);
+  const double parallel_rps =
+      parallel.wall_seconds <= 0.0
+          ? 0.0
+          : static_cast<double>(parallel.records) / parallel.wall_seconds;
+  const double speedup = parallel.wall_seconds <= 0.0
+                             ? 0.0
+                             : serial.wall_seconds / parallel.wall_seconds;
+  std::printf("jobs=%-2zu  %10llu records  %8.2f s  %10.0f records/sec  (%.2fx)\n",
+              parallel_jobs, static_cast<unsigned long long>(parallel.records),
+              parallel.wall_seconds, parallel_rps, speedup);
+
+  const bool identical = serial.merged_json() == parallel.merged_json();
+  const double rss_mib = peak_rss_mib();
+  std::printf("\nmerged metrics jobs=1 vs jobs=%zu: %s\n", parallel_jobs,
+              identical ? "byte-identical" : "DIVERGED");
+  std::printf("peak RSS %.1f MiB (%.1f MiB before replay; catalogue CDF + shard caches "
+              "+ chunk buffers — independent of record count)\n",
+              rss_mib, rss_before_mib);
+  std::printf("hit rate %.2f%%  served-from-cache %.2f%%\n",
+              parallel.merged.gauges.at("replay.hit_rate_pct"),
+              parallel.merged.gauges.at("replay.cache_served_pct"));
+
+  util::MetricsSnapshot snap;
+  snap.counters["scale.records"] = parallel.records;
+  snap.counters["scale.users"] = workload_config.num_users;
+  snap.counters["scale.objects"] = workload_config.num_objects;
+  snap.counters["scale.shards"] = shards;
+  snap.counters["scale.jobs"] = parallel_jobs;
+  snap.counters["scale.merged_identical"] = identical ? 1 : 0;
+  snap.gauges["scale.serial_records_per_sec"] = serial_rps;
+  snap.gauges["scale.parallel_records_per_sec"] = parallel_rps;
+  snap.gauges["scale.speedup"] = speedup;
+  snap.gauges["scale.peak_rss_mib"] = rss_mib;
+  snap.gauges["scale.hit_rate_pct"] = parallel.merged.gauges.at("replay.hit_rate_pct");
+  {
+    std::ofstream out("BENCH_replay_scale.json");
+    out << snap.to_json() << '\n';
+  }
+  std::printf("\nwrote BENCH_replay_scale.json\n");
+  bench::print_footer();
+  return identical ? 0 : 1;
+}

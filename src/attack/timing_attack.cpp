@@ -1,6 +1,7 @@
 #include "attack/timing_attack.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <optional>
 #include <stdexcept>
 
@@ -163,6 +164,32 @@ double run_decision_protocol(const TimingAttackConfig& config) {
     if (verdict == requested) ++correct;
   }
   return static_cast<double>(correct) / static_cast<double>(config.trials);
+}
+
+std::string format_timing_report(const TimingAttackResult& result, std::size_t pdf_bins) {
+  char line[192];
+  std::string out =
+      "RTT distributions (probability density, as in the paper's PDF plots):\n";
+  const auto [hit_hist, miss_hist] =
+      util::SampleSet::paired_histograms(result.hit_rtts_ms, result.miss_rtts_ms, pdf_bins);
+  out += util::format_pdf_table(hit_hist, miss_hist, "hit", "miss");
+  out += '\n';
+  std::snprintf(line, sizeof line, "hit  RTT: mean=%.3f ms  p50=%.3f  p95=%.3f  (n=%zu)\n",
+                result.hit_rtts_ms.mean(), result.hit_rtts_ms.quantile(0.5),
+                result.hit_rtts_ms.quantile(0.95), result.hit_rtts_ms.size());
+  out += line;
+  std::snprintf(line, sizeof line, "miss RTT: mean=%.3f ms  p50=%.3f  p95=%.3f  (n=%zu)\n",
+                result.miss_rtts_ms.mean(), result.miss_rtts_ms.quantile(0.5),
+                result.miss_rtts_ms.quantile(0.95), result.miss_rtts_ms.size());
+  out += line;
+  std::snprintf(line, sizeof line, "\nDistinguishing probability (Bayes-optimal): %.4f\n",
+                result.bayes_accuracy);
+  out += line;
+  std::snprintf(line, sizeof line,
+                "Single-threshold adversary: accuracy %.4f at threshold %.3f ms\n",
+                result.threshold_accuracy, result.threshold_ms);
+  out += line;
+  return out;
 }
 
 }  // namespace ndnp::attack

@@ -63,4 +63,11 @@ struct TimingAttackResult {
 [[nodiscard]] std::pair<double, double> best_threshold(const util::SampleSet& low,
                                                        const util::SampleSet& high);
 
+/// The Figure-3 text report: the paired hit/miss PDF table, the RTT summary
+/// statistics, and both classifier accuracies. Extracted from the bench
+/// binaries so the golden regression vectors can lock the exact bytes at
+/// fixed seeds (tests/test_golden.cpp); bench_common prints this verbatim.
+[[nodiscard]] std::string format_timing_report(const TimingAttackResult& result,
+                                               std::size_t pdf_bins = 24);
+
 }  // namespace ndnp::attack

@@ -161,6 +161,82 @@ std::string Fig5aResult::merged_json() const {
 }
 
 // ---------------------------------------------------------------------------
+// Figure 5(b)
+
+Fig5bResult run_fig5b(const Fig5bConfig& config) {
+  const auto start = std::chrono::steady_clock::now();
+
+  trace::TraceGenConfig gen;
+  gen.num_requests = config.trace_requests;
+  gen.num_objects = config.trace_objects;
+  gen.seed = config.trace_seed;
+  const trace::Trace tr = trace::generate_trace(gen);
+
+  Fig5bResult result;
+  result.trace_size = tr.size();
+  result.private_fractions = config.private_fractions;
+  result.cache_sizes = config.cache_sizes;
+  const auto expo = core::solve_expo_params(config.anonymity_k, config.epsilon, config.delta);
+  if (!expo)
+    throw std::runtime_error("run_fig5b: unsolvable exponential parameterization");
+  result.expo = *expo;
+
+  const std::size_t num_sizes = config.cache_sizes.size();
+  SweepOptions options;
+  options.jobs = config.jobs;
+  options.capture = config.capture;
+  options.master_seed = config.replay_seed;
+  const core::ExpoParams params = *expo;
+  const std::vector<util::MetricsSnapshot> cells =
+      run_sweep<util::MetricsSnapshot>(config.private_fractions.size() * num_sizes, options,
+                                       [&](const RunContext& ctx) {
+        const std::size_t fraction = ctx.run_index / num_sizes;
+        const std::size_t size = ctx.run_index % num_sizes;
+        trace::ReplayConfig replay_config;
+        replay_config.cache_capacity = config.cache_sizes[size];
+        replay_config.private_fraction = config.private_fractions[fraction];
+        // Policy seed 5 matches the original serial bench.
+        replay_config.policy_factory = [params] {
+          return core::RandomCachePolicy::exponential(params.alpha, params.domain, 5);
+        };
+        replay_config.seed = config.replay_seed;
+        return replay_with_metrics(tr, replay_config);
+      });
+
+  result.cells.resize(config.private_fractions.size());
+  for (std::size_t f = 0; f < config.private_fractions.size(); ++f)
+    result.cells[f].assign(cells.begin() + static_cast<std::ptrdiff_t>(f * num_sizes),
+                           cells.begin() + static_cast<std::ptrdiff_t>((f + 1) * num_sizes));
+  result.wall_seconds = elapsed_seconds(start);
+  return result;
+}
+
+double Fig5bResult::hit_rate_pct(std::size_t fraction, std::size_t size) const {
+  return cells[fraction][size].gauges.at("replay.hit_rate_pct");
+}
+
+std::string Fig5bResult::format_table() const {
+  std::string out = sprintf_line("%-14s", "private share");
+  for (const std::size_t size : cache_sizes)
+    out += size == 0 ? sprintf_line("%10s", "Inf") : sprintf_line("%10zu", size);
+  out += '\n';
+  for (std::size_t f = 0; f < private_fractions.size(); ++f) {
+    out += sprintf_line("%12.0f%% ", private_fractions[f] * 100.0);
+    for (std::size_t z = 0; z < cache_sizes.size(); ++z)
+      out += sprintf_line("%9.2f%%", hit_rate_pct(f, z));
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Fig5bResult::merged_json() const {
+  SweepResult sweep;
+  for (const auto& row : cells)
+    sweep.runs.insert(sweep.runs.end(), row.begin(), row.end());
+  return sweep.merged_json();
+}
+
+// ---------------------------------------------------------------------------
 // Figure 4(a)
 
 Fig4aResult run_fig4a(const Fig4aConfig& config) {

@@ -85,6 +85,51 @@ struct Fig5aResult {
 [[nodiscard]] Fig5aResult run_fig5a(const Fig5aConfig& config);
 
 // ---------------------------------------------------------------------------
+// Figure 5(b): Exponential-Random-Cache hit rate by private share and
+// cache size (trace replay grid).
+
+struct Fig5bConfig {
+  std::size_t trace_requests = 200'000;
+  std::size_t trace_objects = 200'000;
+  std::uint64_t trace_seed = 2013;
+  /// Replay seed used by every grid cell (matches the original serial bench).
+  std::uint64_t replay_seed = 99;
+  std::int64_t anonymity_k = 5;
+  double epsilon = 0.005;
+  double delta = 0.05;
+  /// Fraction of content marked private, one table row each.
+  std::vector<double> private_fractions = {0.05, 0.10, 0.20, 0.40};
+  /// 0 = unlimited (the paper's "Inf" column).
+  std::vector<std::size_t> cache_sizes = {2'000, 4'000, 8'000, 16'000, 32'000, 0};
+  std::size_t jobs = 1;
+  /// Optional per-cell flight-recorder capture (not owned).
+  SweepTraceCapture* capture = nullptr;
+};
+
+struct Fig5bResult {
+  std::vector<double> private_fractions;
+  std::vector<std::size_t> cache_sizes;
+  /// cells[fraction][size]: full per-run snapshot.
+  std::vector<std::vector<util::MetricsSnapshot>> cells;
+  std::size_t trace_size = 0;
+  core::ExpoParams expo{};
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] double hit_rate_pct(std::size_t fraction, std::size_t size) const;
+
+  /// The bench's table text (header row + one row per private share),
+  /// identical to the pre-runner serial output; golden-vector locked.
+  [[nodiscard]] std::string format_table() const;
+
+  /// Canonical merged JSON of all cells (row-major) plus the aggregate.
+  [[nodiscard]] std::string merged_json() const;
+};
+
+/// Throws std::runtime_error if the exponential parameterization is
+/// unattainable for (k, epsilon, delta).
+[[nodiscard]] Fig5bResult run_fig5b(const Fig5bConfig& config);
+
+// ---------------------------------------------------------------------------
 // Figure 4(a): utility vs number of requests (closed-form grid).
 
 struct Fig4aConfig {

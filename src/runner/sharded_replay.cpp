@@ -1,0 +1,121 @@
+#include "runner/sharded_replay.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "runner/runner.hpp"
+
+namespace ndnp::runner {
+
+namespace {
+
+/// Recompute the non-additive gauges from a snapshot's own counters (used
+/// for per-shard snapshots and again for the merged one, so both are
+/// internally consistent).
+void set_rate_gauges(util::MetricsSnapshot& snap, double mean_response_ms) {
+  const auto counter = [&](const char* name) -> double {
+    const auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? 0.0 : static_cast<double>(it->second);
+  };
+  const double requests = counter("engine.requests");
+  const double exposed = counter("engine.exposed_hits");
+  const double delayed = counter("engine.delayed_hits");
+  snap.gauges["replay.hit_rate_pct"] = requests == 0.0 ? 0.0 : 100.0 * exposed / requests;
+  snap.gauges["replay.cache_served_pct"] =
+      requests == 0.0 ? 0.0 : 100.0 * (exposed + delayed) / requests;
+  snap.gauges["replay.mean_response_ms"] = mean_response_ms;
+}
+
+}  // namespace
+
+ShardedReplayResult replay_sharded(const TraceSourceFactory& open_source,
+                                   const ShardedReplayConfig& config) {
+  if (config.shards == 0)
+    throw std::invalid_argument("replay_sharded: need at least one shard");
+  if (config.chunk_records == 0)
+    throw std::invalid_argument("replay_sharded: chunk_records must be positive");
+  if (!open_source) throw std::invalid_argument("replay_sharded: source factory is required");
+
+  // One content-class seed for every shard: drawn from the master stream
+  // just past the shard indices, so it is deterministic and never collides
+  // with a shard's replay seed.
+  const std::uint64_t class_seed = config.replay.private_class_seed != 0
+                                       ? config.replay.private_class_seed
+                                       : run_seed(config.master_seed, config.shards);
+
+  ShardedReplayResult out;
+  out.shards.resize(config.shards);
+  std::vector<std::uint64_t> malformed(config.shards, 0);
+
+  const auto start = std::chrono::steady_clock::now();
+  detail::parallel_for(config.shards, resolve_jobs(config.jobs), [&](std::size_t i) {
+    const std::unique_ptr<trace::TraceSource> source = open_source();
+    trace::ReplayConfig shard_cfg = config.replay;
+    shard_cfg.seed = run_seed(config.master_seed, i);
+    shard_cfg.private_class_seed = class_seed;
+    util::MetricsRegistry registry;
+    shard_cfg.metrics = &registry;
+
+    trace::ReplaySession session(shard_cfg);
+    std::vector<trace::TraceRecord> chunk;
+    chunk.reserve(config.chunk_records);
+    while (source->next_chunk(chunk, config.chunk_records)) {
+      for (const trace::TraceRecord& record : chunk)
+        if (trace::shard_of(record.user_id, config.shards) == i) session.feed(record);
+    }
+
+    ShardReplayResult& shard = out.shards[i];
+    shard.records = session.fed();
+    shard.result = session.finish();
+    shard.metrics = registry.snapshot();
+    shard.metrics.counters["replay.records"] = shard.records;
+    shard.metrics.counters["replay.private_requests"] = shard.result.private_requests;
+    shard.metrics.counters["replay.upstream_losses"] = shard.result.upstream_losses;
+    shard.metrics.counters["replay.degraded_fetches"] = shard.result.degraded_fetches;
+    set_rate_gauges(shard.metrics, shard.result.mean_response_ms);
+    malformed[i] = source->stats().malformed;
+  });
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  // Merge in shard-index order; recompute rates over the merged counters
+  // (merge_snapshots sums gauges, which is wrong for rates and means).
+  std::vector<util::MetricsSnapshot> parts;
+  parts.reserve(out.shards.size());
+  double response_ms_weighted = 0.0;
+  for (const ShardReplayResult& shard : out.shards) {
+    parts.push_back(shard.metrics);
+    out.records += shard.records;
+    response_ms_weighted +=
+        shard.result.mean_response_ms * static_cast<double>(shard.records);
+  }
+  out.merged = util::merge_snapshots(parts);
+  set_rate_gauges(out.merged, out.records == 0
+                                  ? 0.0
+                                  : response_ms_weighted / static_cast<double>(out.records));
+  // Each shard scanned the whole trace, so the counts agree — report one,
+  // not the sum.
+  out.malformed_records = malformed.empty() ? 0 : malformed.front();
+  out.merged.counters["replay.malformed_records"] = out.malformed_records;
+  return out;
+}
+
+ShardedReplayResult replay_sharded(const trace::Trace& tr, const ShardedReplayConfig& config) {
+  return replay_sharded([&tr] { return std::make_unique<trace::VectorTraceSource>(tr); },
+                        config);
+}
+
+std::string ShardedReplayResult::merged_json() const {
+  std::string json = "{\"shards\":[";
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (i) json += ',';
+    json += shards[i].metrics.to_json();
+  }
+  json += "],\"merged\":" + merged.to_json();
+  json += ",\"records\":" + std::to_string(records);
+  json += ",\"malformed_records\":" + std::to_string(malformed_records);
+  json += "}";
+  return json;
+}
+
+}  // namespace ndnp::runner

@@ -19,92 +19,147 @@ std::string_view to_string(Deployment deployment) noexcept {
   return "?";
 }
 
-NetworkReplayResult replay_over_network(const Trace& tr, const NetworkReplayConfig& config) {
-  if (config.edge_routers == 0)
-    throw std::invalid_argument("replay_over_network: need at least one edge router");
-  if (!(config.time_compression > 0.0))
-    throw std::invalid_argument("replay_over_network: time compression must be positive");
+namespace {
 
-  sim::Scheduler sched;
+/// The two-tier deployment tree plus the per-record issue path, shared by
+/// the in-memory and streaming overloads.
+struct DeploymentTree {
+  explicit DeploymentTree(const NetworkReplayConfig& config) : config_(config) {
+    if (config.edge_routers == 0)
+      throw std::invalid_argument("replay_over_network: need at least one edge router");
+    if (!(config.time_compression > 0.0))
+      throw std::invalid_argument("replay_over_network: time compression must be positive");
 
-  const auto make_policy = [&](bool is_edge) -> std::unique_ptr<core::CachePrivacyPolicy> {
-    const bool wants_policy =
-        config.policy_factory &&
-        (config.deployment == Deployment::kEverywhere ||
-         (config.deployment == Deployment::kEdgeOnly && is_edge));
-    return wants_policy ? config.policy_factory() : nullptr;  // null -> NoPrivacy
-  };
+    const auto make_policy = [&](bool is_edge) -> std::unique_ptr<core::CachePrivacyPolicy> {
+      const bool wants_policy =
+          config.policy_factory &&
+          (config.deployment == Deployment::kEverywhere ||
+           (config.deployment == Deployment::kEdgeOnly && is_edge));
+      return wants_policy ? config.policy_factory() : nullptr;  // null -> NoPrivacy
+    };
 
-  // Core tier.
-  sim::ForwarderConfig core_cfg;
-  core_cfg.cs_capacity = config.core_cache;
-  core_cfg.eviction = config.eviction;
-  core_cfg.seed = config.seed ^ 0xff51afd7ed558ccdULL;
-  sim::Forwarder core(sched, "core", core_cfg, make_policy(/*is_edge=*/false));
+    // Core tier.
+    sim::ForwarderConfig core_cfg;
+    core_cfg.cs_capacity = config.core_cache;
+    core_cfg.eviction = config.eviction;
+    core_cfg.seed = config.seed ^ 0xff51afd7ed558ccdULL;
+    core_ = std::make_unique<sim::Forwarder>(sched_, "core", core_cfg,
+                                             make_policy(/*is_edge=*/false));
 
-  // Producer: auto-generates the whole /web namespace.
-  sim::ProducerConfig pcfg;
-  pcfg.payload_size = 8'192;
-  sim::Producer producer(sched, "origin", ndn::Name("/web"), "origin-key", pcfg,
-                         config.seed + 1);
-  const sim::LinkConfig core_producer = sim::wan_link(8.0, 0.5, 0.4);
-  const auto [core_up, producer_down] = connect(core, producer, core_producer);
-  (void)producer_down;
-  core.add_route(ndn::Name("/web"), core_up);
+    // Producer: auto-generates the whole /web namespace.
+    sim::ProducerConfig pcfg;
+    pcfg.payload_size = 8'192;
+    producer_ = std::make_unique<sim::Producer>(sched_, "origin", ndn::Name("/web"),
+                                                "origin-key", pcfg, config.seed + 1);
+    const sim::LinkConfig core_producer = sim::wan_link(8.0, 0.5, 0.4);
+    const auto [core_up, producer_down] = connect(*core_, *producer_, core_producer);
+    (void)producer_down;
+    core_->add_route(ndn::Name("/web"), core_up);
 
-  // Edge tier, one aggregate consumer per edge router.
-  struct Edge {
-    std::unique_ptr<sim::Forwarder> router;
-    std::unique_ptr<sim::Consumer> consumer;
-  };
-  std::vector<Edge> edges;
-  edges.reserve(config.edge_routers);
-  const sim::LinkConfig access = sim::lan_link(0.3, 0.05);
-  const sim::LinkConfig edge_core = sim::wan_link(2.0, 0.2, 0.4);
-  for (std::size_t i = 0; i < config.edge_routers; ++i) {
-    sim::ForwarderConfig edge_cfg;
-    edge_cfg.cs_capacity = config.edge_cache;
-    edge_cfg.eviction = config.eviction;
-    edge_cfg.seed = config.seed + 100 + i;
-    Edge edge;
-    edge.router = std::make_unique<sim::Forwarder>(sched, "edge" + std::to_string(i),
-                                                   edge_cfg, make_policy(/*is_edge=*/true));
-    edge.consumer = std::make_unique<sim::Consumer>(sched, "users" + std::to_string(i),
-                                                    config.seed + 200 + i);
-    connect(*edge.consumer, *edge.router, access);
-    const auto [up, down] = connect(*edge.router, core, edge_core);
-    (void)down;
-    edge.router->add_route(ndn::Name("/web"), up);
-    edges.push_back(std::move(edge));
+    // Edge tier, one aggregate consumer per edge router.
+    edges_.reserve(config.edge_routers);
+    const sim::LinkConfig access = sim::lan_link(0.3, 0.05);
+    const sim::LinkConfig edge_core = sim::wan_link(2.0, 0.2, 0.4);
+    for (std::size_t i = 0; i < config.edge_routers; ++i) {
+      sim::ForwarderConfig edge_cfg;
+      edge_cfg.cs_capacity = config.edge_cache;
+      edge_cfg.eviction = config.eviction;
+      edge_cfg.seed = config.seed + 100 + i;
+      Edge edge;
+      edge.router = std::make_unique<sim::Forwarder>(sched_, "edge" + std::to_string(i),
+                                                     edge_cfg, make_policy(/*is_edge=*/true));
+      edge.consumer = std::make_unique<sim::Consumer>(sched_, "users" + std::to_string(i),
+                                                      config.seed + 200 + i);
+      connect(*edge.consumer, *edge.router, access);
+      const auto [up, down] = connect(*edge.router, *core_, edge_core);
+      (void)down;
+      edge.router->add_route(ndn::Name("/web"), up);
+      edges_.push_back(std::move(edge));
+    }
   }
 
-  // Schedule every request at its compressed timestamp.
-  NetworkReplayResult result;
-  result.requests = tr.size();
-  for (const TraceRecord& record : tr.records) {
-    const auto at = static_cast<util::SimTime>(record.timestamp_s * 1e9 /
-                                               config.time_compression);
-    Edge& edge = edges[record.user_id % config.edge_routers];
+  /// Compressed simulation timestamp of a record.
+  [[nodiscard]] util::SimTime at(const TraceRecord& record) const {
+    return static_cast<util::SimTime>(record.timestamp_s * 1e9 / config_.time_compression);
+  }
+
+  /// Schedule one request at its compressed timestamp.
+  void issue(const TraceRecord& record) {
+    ++result_.requests;
+    Edge& edge = edges_[record.user_id % config_.edge_routers];
     sim::Consumer* consumer = edge.consumer.get();
     const bool is_private =
-        is_private_content(record.name, config.private_fraction, config.seed);
+        is_private_content(record.name, config_.private_fraction, config_.seed);
     const ndn::Name name = record.name;
-    sched.schedule_at(at, [consumer, name, is_private, &result] {
+    NetworkReplayResult* result = &result_;
+    sched_.schedule_at(at(record), [consumer, name, is_private, result] {
       ndn::Interest interest;
       interest.name = name;
       interest.private_req = is_private;
       consumer->express_interest(interest,
-                                 [&result](const ndn::Data&, util::SimDuration rtt) {
-                                   ++result.completed;
-                                   result.rtt_ms.add(util::to_millis(rtt));
+                                 [result](const ndn::Data&, util::SimDuration rtt) {
+                                   ++result->completed;
+                                   result->rtt_ms.add(util::to_millis(rtt));
                                  });
     });
   }
-  sched.run();
 
-  for (const Edge& edge : edges) result.edge_hits += edge.router->stats().exposed_hits;
-  result.core_hits = core.stats().exposed_hits;
-  result.producer_fetches = producer.interests_served();
+  /// Drain the event queue and collect the tier accounting.
+  [[nodiscard]] NetworkReplayResult finish() {
+    sched_.run();
+    for (const Edge& edge : edges_) result_.edge_hits += edge.router->stats().exposed_hits;
+    result_.core_hits = core_->stats().exposed_hits;
+    result_.producer_fetches = producer_->interests_served();
+    return std::move(result_);
+  }
+
+  sim::Scheduler sched_;
+
+ private:
+  struct Edge {
+    std::unique_ptr<sim::Forwarder> router;
+    std::unique_ptr<sim::Consumer> consumer;
+  };
+
+  NetworkReplayConfig config_;
+  std::unique_ptr<sim::Forwarder> core_;
+  std::unique_ptr<sim::Producer> producer_;
+  std::vector<Edge> edges_;
+  NetworkReplayResult result_;
+};
+
+}  // namespace
+
+NetworkReplayResult replay_over_network(const Trace& tr, const NetworkReplayConfig& config) {
+  DeploymentTree tree(config);
+  for (const TraceRecord& record : tr.records) tree.issue(record);
+  return tree.finish();
+}
+
+NetworkReplayResult replay_over_network(TraceSource& source,
+                                        const NetworkReplayConfig& config,
+                                        std::size_t chunk_records) {
+  if (chunk_records == 0)
+    throw std::invalid_argument("replay_over_network: chunk_records must be positive");
+  DeploymentTree tree(config);
+  std::vector<TraceRecord> chunk;
+  chunk.reserve(chunk_records);
+  double last_ts = 0.0;
+  while (source.next_chunk(chunk, chunk_records)) {
+    for (const TraceRecord& record : chunk) {
+      if (record.timestamp_s < last_ts)
+        throw std::invalid_argument(
+            "replay_over_network: streaming replay requires a time-sorted trace");
+      last_ts = record.timestamp_s;
+      tree.issue(record);
+    }
+    // Execute everything up to the horizon of this chunk before pulling the
+    // next one: in-flight events stay pending, but the request backlog never
+    // exceeds one chunk.
+    tree.sched_.run_until(tree.at(chunk.back()));
+  }
+  NetworkReplayResult result = tree.finish();
+  result.malformed_records = source.stats().malformed;
   return result;
 }
 

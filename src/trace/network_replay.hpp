@@ -21,6 +21,7 @@
 
 #include "cache/content_store.hpp"
 #include "core/policy.hpp"
+#include "trace/stream.hpp"
 #include "trace/trace.hpp"
 #include "util/stats.hpp"
 
@@ -58,6 +59,10 @@ struct NetworkReplayResult {
   std::uint64_t core_hits = 0;
   /// Interests the producer had to serve (origin load).
   std::uint64_t producer_fetches = 0;
+  /// Malformed input lines the feeding TraceSource skipped (counted, never
+  /// silently dropped; 0 for in-memory traces). The source itself fails
+  /// fast past its ParseOptions threshold.
+  std::uint64_t malformed_records = 0;
   /// Consumer-observed round-trip times, ms.
   util::SampleSet rtt_ms;
 
@@ -82,5 +87,16 @@ struct NetworkReplayResult {
 /// (trace, config) pair.
 [[nodiscard]] NetworkReplayResult replay_over_network(const Trace& tr,
                                                       const NetworkReplayConfig& config);
+
+/// Streaming overload: pull fixed-size chunks from `source` and interleave
+/// scheduling with execution, so peak memory is bounded by `chunk_records`
+/// (plus cache state) — independent of trace length. Requires records in
+/// nondecreasing timestamp order (the trace formats guarantee it); throws
+/// std::invalid_argument otherwise. Deterministic for a given
+/// (source, config) pair and byte-identical to the in-memory overload on
+/// the same records.
+[[nodiscard]] NetworkReplayResult replay_over_network(TraceSource& source,
+                                                      const NetworkReplayConfig& config,
+                                                      std::size_t chunk_records = 64 * 1024);
 
 }  // namespace ndnp::trace

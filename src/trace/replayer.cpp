@@ -18,66 +18,75 @@ bool is_private_content(const ndn::Name& name, double private_fraction, std::uin
   return u < private_fraction;
 }
 
-ReplayResult replay(const Trace& trace, const ReplayConfig& config) {
-  if (!config.policy_factory)
-    throw std::invalid_argument("replay: policy_factory is required");
-
-  core::CachePrivacyEngine engine(config.cache_capacity, config.eviction,
-                                  config.policy_factory(), config.seed,
-                                  config.cache_admission_probability);
-  util::Rng rng(config.seed ^ 0x6a09e667f3bcc909ULL);
-
-  // The degraded-network chain draws from its own stream so that enabling
-  // it never shifts the delay-spread draws above — the cache state (and
-  // therefore the hit-rate columns) is identical with and without loss.
-  util::GilbertElliottChain upstream_chain(config.upstream_loss);
-  util::Rng loss_rng(config.seed ^ 0xbb67ae8584caa73bULL);
-  ReplayResult result;
-
-  const core::CachePrivacyEngine::FetchFn fetch = [&](const ndn::Interest& interest) {
-    const double spread = rng.uniform(0.5, 1.5);
+ReplaySession::ReplaySession(const ReplayConfig& config)
+    : config_(config),
+      engine_(config.cache_capacity, config.eviction,
+              config.policy_factory ? config.policy_factory()
+                                    : throw std::invalid_argument(
+                                          "replay: policy_factory is required"),
+              config.seed, config.cache_admission_probability),
+      rng_(config.seed ^ 0x6a09e667f3bcc909ULL),
+      // The degraded-network chain draws from its own stream so that
+      // enabling it never shifts the delay-spread draws above — the cache
+      // state (and therefore the hit-rate columns) is identical with and
+      // without loss.
+      upstream_chain_(config.upstream_loss),
+      loss_rng_(config.seed ^ 0xbb67ae8584caa73bULL) {
+  fetch_ = [this](const ndn::Interest& interest) {
+    const double spread = rng_.uniform(0.5, 1.5);
     auto delay = static_cast<util::SimDuration>(
-        static_cast<double>(config.upstream_delay) * spread);
-    if (config.upstream_loss.enabled()) {
+        static_cast<double>(config_.upstream_delay) * spread);
+    if (config_.upstream_loss.enabled()) {
       util::SimDuration penalty = 0;
       // Retry cap: a loss=1 chain would otherwise never deliver.
-      for (int attempt = 0; attempt < 64 && upstream_chain.sample_loss(loss_rng); ++attempt) {
-        ++result.upstream_losses;
-        penalty += config.upstream_retry_penalty;
+      for (int attempt = 0; attempt < 64 && upstream_chain_.sample_loss(loss_rng_);
+           ++attempt) {
+        ++result_.upstream_losses;
+        penalty += config_.upstream_retry_penalty;
       }
       if (penalty > 0) {
-        ++result.degraded_fetches;
+        ++result_.degraded_fetches;
         delay += penalty;
       }
     }
     return std::pair{
         ndn::make_data(interest.name, std::string(64, 'x'), "origin", "origin-key"), delay};
   };
+}
 
-  double total_response_ms = 0.0;
+void ReplaySession::feed(const TraceRecord& record) {
+  ndn::Interest interest;
+  interest.name = record.name;
+  interest.nonce = rng_.next_u64();
+  interest.private_req = is_private_content(
+      record.name, config_.private_fraction,
+      config_.private_class_seed != 0 ? config_.private_class_seed : config_.seed);
+  if (interest.private_req) ++result_.private_requests;
+
+  const auto now = static_cast<util::SimTime>(record.timestamp_s * 1e9);
+  const core::RequestOutcome outcome = engine_.handle(interest, now, fetch_);
+  NDNP_TRACE_EVENT(util::TraceEventType::kReplayRequest, "replayer", now,
+                   record.name.to_uri(),
+                   std::string("outcome=") + std::string(to_string(outcome.kind)) +
+                       (interest.private_req ? " private=1" : " private=0"),
+                   -1, outcome.response_delay);
+  total_response_ms_ += util::to_millis(outcome.response_delay);
+  ++fed_;
+}
+
+ReplayResult ReplaySession::finish() {
+  result_.stats = engine_.stats();
+  result_.mean_response_ms =
+      fed_ == 0 ? 0.0 : total_response_ms_ / static_cast<double>(fed_);
+  if (config_.metrics) engine_.export_metrics(*config_.metrics, "engine");
+  return result_;
+}
+
+ReplayResult replay(const Trace& trace, const ReplayConfig& config) {
+  ReplaySession session(config);
   NDNP_TRACE_SCOPE("replayer", "replay", "replay");
-  for (const TraceRecord& record : trace.records) {
-    ndn::Interest interest;
-    interest.name = record.name;
-    interest.nonce = rng.next_u64();
-    interest.private_req =
-        is_private_content(record.name, config.private_fraction, config.seed);
-    if (interest.private_req) ++result.private_requests;
-
-    const auto now = static_cast<util::SimTime>(record.timestamp_s * 1e9);
-    const core::RequestOutcome outcome = engine.handle(interest, now, fetch);
-    NDNP_TRACE_EVENT(util::TraceEventType::kReplayRequest, "replayer", now,
-                     record.name.to_uri(),
-                     std::string("outcome=") + std::string(to_string(outcome.kind)) +
-                         (interest.private_req ? " private=1" : " private=0"),
-                     -1, outcome.response_delay);
-    total_response_ms += util::to_millis(outcome.response_delay);
-  }
-  result.stats = engine.stats();
-  result.mean_response_ms =
-      trace.records.empty() ? 0.0 : total_response_ms / static_cast<double>(trace.size());
-  if (config.metrics) engine.export_metrics(*config.metrics, "engine");
-  return result;
+  for (const TraceRecord& record : trace.records) session.feed(record);
+  return session.finish();
 }
 
 }  // namespace ndnp::trace

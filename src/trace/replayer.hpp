@@ -18,6 +18,7 @@
 #include "trace/trace.hpp"
 #include "util/fault_model.hpp"
 #include "util/metrics.hpp"
+#include "util/rng.hpp"
 
 namespace ndnp::trace {
 
@@ -42,6 +43,11 @@ struct ReplayConfig {
   util::GilbertElliottConfig upstream_loss{};
   util::SimDuration upstream_retry_penalty = util::millis(80);
   std::uint64_t seed = 1;
+  /// Seed for the private/non-private content division; 0 (default) means
+  /// "use `seed`". The sharded replayer (docs/SCALE.md) gives every shard
+  /// its own `seed` stream but one shared private_class_seed, so all
+  /// shards agree on which content is private.
+  std::uint64_t private_class_seed = 0;
   /// Optional: when set, the engine/cs/policy counters are exported into
   /// this registry (prefix "engine") after the replay completes.
   util::MetricsRegistry* metrics = nullptr;
@@ -70,6 +76,36 @@ struct ReplayResult {
 /// deterministic (hash-based), so all requests for one content agree.
 [[nodiscard]] bool is_private_content(const ndn::Name& name, double private_fraction,
                                       std::uint64_t seed);
+
+/// Incremental replay: the engine-driving loop of `replay` exposed as
+/// feed-one-record-at-a-time, so streaming sources (trace/stream.hpp) can
+/// drive a router without materializing the trace. `replay(trace, config)`
+/// is exactly `ReplaySession s(config); for (r : records) s.feed(r);
+/// s.finish()` — the golden vectors pin the equivalence.
+class ReplaySession {
+ public:
+  explicit ReplaySession(const ReplayConfig& config);
+
+  /// Drive one request through the engine at its trace timestamp.
+  void feed(const TraceRecord& record);
+
+  [[nodiscard]] std::uint64_t fed() const noexcept { return fed_; }
+
+  /// Finalize: snapshot engine stats, compute the mean response delay and
+  /// export metrics (when config.metrics is set). Call once.
+  [[nodiscard]] ReplayResult finish();
+
+ private:
+  ReplayConfig config_;
+  core::CachePrivacyEngine engine_;
+  util::Rng rng_;
+  util::GilbertElliottChain upstream_chain_;
+  util::Rng loss_rng_;
+  core::CachePrivacyEngine::FetchFn fetch_;
+  ReplayResult result_;
+  double total_response_ms_ = 0.0;
+  std::uint64_t fed_ = 0;
+};
 
 [[nodiscard]] ReplayResult replay(const Trace& trace, const ReplayConfig& config);
 

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <istream>
 #include <ostream>
-#include <sstream>
 #include <stdexcept>
 
+#include "trace/stream.hpp"
 #include "util/rng.hpp"
 
 namespace ndnp::trace {
@@ -112,21 +112,36 @@ void write_trace(const Trace& trace, std::ostream& out) {
   }
 }
 
-Trace parse_trace(std::istream& in) {
+Trace parse_trace(std::istream& in) { return parse_trace(in, 0, nullptr); }
+
+Trace parse_trace(std::istream& in, std::uint64_t max_malformed, ParseStats* stats) {
   Trace trace;
+  ParseStats local;
   std::string line;
-  std::size_t line_no = 0;
   while (std::getline(in, line)) {
-    ++line_no;
-    if (line.empty() || line.front() == '#') continue;
-    std::istringstream fields(line);
+    ++local.lines;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line.front() == '#') {
+      ++local.comments;
+      continue;
+    }
     TraceRecord record;
-    std::string uri;
-    if (!(fields >> record.timestamp_s >> record.user_id >> uri >> record.size_bytes))
-      throw std::runtime_error("parse_trace: malformed line " + std::to_string(line_no));
-    record.name = ndn::Name(uri);
+    if (!parse_trace_line(line, record)) {
+      ++local.malformed;
+      if (local.malformed > max_malformed) {
+        if (stats) *stats = local;
+        throw TraceParseError(
+            "parse_trace: malformed line " + std::to_string(local.lines) + " (" +
+                std::to_string(local.malformed) + " malformed line(s) exceed threshold " +
+                std::to_string(max_malformed) + ")",
+            local);
+      }
+      continue;
+    }
+    ++local.records;
     trace.records.push_back(std::move(record));
   }
+  if (stats) *stats = local;
   return trace;
 }
 

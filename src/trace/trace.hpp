@@ -75,4 +75,13 @@ struct TraceGenConfig {
 void write_trace(const Trace& trace, std::ostream& out);
 [[nodiscard]] Trace parse_trace(std::istream& in);
 
+/// Accounting variant: malformed lines are skipped and counted into
+/// `stats` (never silently dropped), failing fast once their count
+/// exceeds `max_malformed` — see trace/stream.hpp (ParseOptions) for the
+/// streaming counterpart. `parse_trace(in)` above is the strict historical
+/// form: max_malformed 0, i.e. the first malformed line throws.
+struct ParseStats;
+[[nodiscard]] Trace parse_trace(std::istream& in, std::uint64_t max_malformed,
+                                ParseStats* stats);
+
 }  // namespace ndnp::trace

@@ -96,6 +96,22 @@ HistogramData merge(const HistogramData& a, const HistogramData& b) {
   return out;
 }
 
+MetricsSnapshot merge_snapshots(const std::vector<MetricsSnapshot>& parts) {
+  MetricsSnapshot out;
+  for (const MetricsSnapshot& part : parts) {
+    for (const auto& [name, value] : part.counters) out.counters[name] += value;
+    for (const auto& [name, value] : part.gauges) out.gauges[name] += value;
+    for (const auto& [name, hist] : part.histograms) {
+      const auto it = out.histograms.find(name);
+      if (it == out.histograms.end())
+        out.histograms[name] = hist;
+      else
+        it->second = merge(it->second, hist);
+    }
+  }
+  return out;
+}
+
 std::string MetricsSnapshot::to_json() const {
   std::string out = "{\"counters\":{";
   bool first = true;

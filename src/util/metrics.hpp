@@ -88,6 +88,17 @@ struct HistogramData {
 /// mismatch.
 [[nodiscard]] HistogramData merge(const HistogramData& a, const HistogramData& b);
 
+struct MetricsSnapshot;
+
+/// Element-wise union of per-shard snapshots (the sharded replayer's merge
+/// step): counters are summed, same-named histograms merged bin-wise, and
+/// gauges summed. Non-additive gauges (rates, means) must be recomputed
+/// from the merged counters by the caller — summing them is only the right
+/// default for additive totals. Parts are folded in vector order over
+/// ordered maps, so the result is deterministic and independent of how the
+/// parts were produced.
+[[nodiscard]] MetricsSnapshot merge_snapshots(const std::vector<MetricsSnapshot>& parts);
+
 /// Point-in-time copy of a registry, plus free-form derived gauges (doubles
 /// like hit rates that runs compute from counters). All maps are ordered so
 /// serialization is canonical: equal snapshots produce byte-identical JSON.

@@ -154,6 +154,50 @@ double ks_statistic(const Histogram& a, const Histogram& b) {
   return ks_statistic(pa, pb);
 }
 
+namespace {
+
+std::uint64_t count_total(const std::vector<std::uint64_t>& v) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t x : v) total += x;
+  return total;
+}
+
+}  // namespace
+
+double chi_square_statistic(const std::vector<std::uint64_t>& a,
+                            const std::vector<std::uint64_t>& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("chi_square_statistic: category counts differ");
+  const double na = static_cast<double>(count_total(a));
+  const double nb = static_cast<double>(count_total(b));
+  if (na == 0.0 || nb == 0.0)
+    throw std::invalid_argument("chi_square_statistic: empty sample");
+  const double ra = std::sqrt(nb / na);
+  const double rb = std::sqrt(na / nb);
+  double chi2 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double ai = static_cast<double>(a[i]);
+    const double bi = static_cast<double>(b[i]);
+    if (ai + bi == 0.0) continue;  // empty cell: no evidence either way
+    const double diff = ra * ai - rb * bi;
+    chi2 += diff * diff / (ai + bi);
+  }
+  return chi2;
+}
+
+double total_variation(const std::vector<std::uint64_t>& a,
+                       const std::vector<std::uint64_t>& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("total_variation: category counts differ");
+  const double na = static_cast<double>(count_total(a));
+  const double nb = static_cast<double>(count_total(b));
+  if (na == 0.0 || nb == 0.0) throw std::invalid_argument("total_variation: empty sample");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    acc += std::abs(static_cast<double>(a[i]) / na - static_cast<double>(b[i]) / nb);
+  return 0.5 * acc;
+}
+
 double amplified_success(double per_object_success, std::size_t n_objects) noexcept {
   const double fail = std::clamp(1.0 - per_object_success, 0.0, 1.0);
   return 1.0 - std::pow(fail, static_cast<double>(n_objects));

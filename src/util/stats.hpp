@@ -123,6 +123,27 @@ class SampleSet {
 /// `bins` shared bins over their combined range.
 [[nodiscard]] double bayes_accuracy(const SampleSet& a, const SampleSet& b, std::size_t bins = 64);
 
+/// Two-sample Pearson chi-square statistic for homogeneity between two
+/// count vectors over the same categories:
+///
+///   X^2 = sum_i (sqrt(N_b/N_a) a_i - sqrt(N_a/N_b) b_i)^2 / (a_i + b_i)
+///
+/// over cells with a_i + b_i > 0 (empty cells carry no evidence). Under the
+/// null hypothesis that both vectors draw from one distribution, X^2 is
+/// asymptotically chi-square with (#nonempty cells - 1) degrees of freedom.
+/// The statistical-regression tests lock an upper bound on this for
+/// sharded-vs-unsharded replay outcome distributions. Throws
+/// std::invalid_argument on size mismatch or when either vector is all
+/// zeros.
+[[nodiscard]] double chi_square_statistic(const std::vector<std::uint64_t>& a,
+                                          const std::vector<std::uint64_t>& b);
+
+/// Total-variation distance between two count vectors over the same
+/// categories (each normalized to a probability vector first); in [0, 1].
+/// Throws std::invalid_argument on size mismatch or all-zero input.
+[[nodiscard]] double total_variation(const std::vector<std::uint64_t>& a,
+                                     const std::vector<std::uint64_t>& b);
+
 /// Fragment-correlation amplification (Section III): probability of overall
 /// attack success when a content is split into n objects and each
 /// independent per-object probe succeeds with probability p:

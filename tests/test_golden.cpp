@@ -17,7 +17,11 @@
 #include <sstream>
 #include <string>
 
+#include "attack/timing_attack.hpp"
+#include "core/policies.hpp"
 #include "runner/experiments.hpp"
+#include "runner/sharded_replay.hpp"
+#include "sim/topology.hpp"
 #include "util/fault_model.hpp"
 
 namespace {
@@ -86,6 +90,60 @@ TEST(Golden, Fig5aDegradedNetworkMatchesGoldenVector) {
   expect_matches_golden("fig5a_seed99", result.format_table());
   expect_matches_golden("fig5a_degraded_loss5_seed99",
                         result.format_table() + "\n" + result.format_delay_table());
+}
+
+// --- Figure 5(b): hit rate by private share (statistical-regression layer) -
+
+TEST(Golden, Fig5bMatchesGoldenVectorsAcrossSeeds) {
+  for (const std::uint64_t seed : {99ULL, 7ULL}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    runner::Fig5bConfig config;
+    config.trace_requests = 10'000;
+    config.trace_objects = 10'000;
+    config.replay_seed = seed;
+    const runner::Fig5bResult result = runner::run_fig5b(config);
+    expect_matches_golden("fig5b_seed" + std::to_string(seed), result.format_table());
+  }
+}
+
+// --- Figure 3(a): LAN timing-attack report ---------------------------------
+// The timing experiments feed the paper's headline privacy numbers; locking
+// the full text report (PDF table + summary statistics + both classifier
+// accuracies) at a small locked configuration catches any drift in link
+// jitter RNG, histogram binning, or the Bayes/threshold computations.
+
+TEST(Golden, Fig3aTimingReportMatchesGoldenVector) {
+  attack::TimingAttackConfig config;
+  config.trials = 5;
+  config.contents_per_trial = 10;
+  config.scenario_params = &sim::lan_scenario_params;
+  config.seed = 1;
+  const attack::TimingAttackResult result = attack::run_timing_attack(config);
+  expect_matches_golden("fig3a_trials5_seed1", attack::format_timing_report(result));
+}
+
+// --- Sharded replay: merged snapshot locked across PRs ---------------------
+// The sharded replayer promises byte-identical merged metrics for any jobs
+// count *and* across releases at a fixed seed. The jobs sweep lives in
+// tests/test_sharded_replay.cpp; this locks the bytes themselves.
+
+TEST(Golden, ShardedReplayMergedSnapshotMatchesGoldenVector) {
+  trace::TraceGenConfig gen;
+  gen.num_users = 24;
+  gen.num_objects = 2'000;
+  gen.num_requests = 8'000;
+  gen.seed = 17;
+  const trace::Trace tr = trace::generate_trace(gen);
+
+  runner::ShardedReplayConfig config;
+  config.shards = 4;
+  config.master_seed = 99;
+  config.replay.cache_capacity = 200;
+  config.replay.policy_factory = [] {
+    return core::RandomCachePolicy::exponential(0.999, 201, 5);
+  };
+  const runner::ShardedReplayResult result = runner::replay_sharded(tr, config);
+  expect_matches_golden("sharded_replay_seed99", result.merged_json() + "\n");
 }
 
 // --- Figure 4(a): utility loss of uniform vs exponential k -----------------

@@ -2,7 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+
 #include "core/policies.hpp"
+#include "trace/stream.hpp"
 
 namespace ndnp::trace {
 namespace {
@@ -116,6 +123,116 @@ TEST(NetworkReplay, DeploymentNames) {
   EXPECT_EQ(to_string(Deployment::kNone), "none");
   EXPECT_EQ(to_string(Deployment::kEdgeOnly), "edge-only");
   EXPECT_EQ(to_string(Deployment::kEverywhere), "everywhere");
+}
+
+// --- Streaming replay + edge cases (docs/SCALE.md) -------------------------
+
+TEST(NetworkReplay, StreamingReplayMatchesInMemoryReplay) {
+  // The streaming overload interleaves scheduling with chunk pulls; for the
+  // same records it must land on the exact same deployment-tree outcome.
+  const Trace tr = small_trace();
+  const NetworkReplayResult reference = replay_over_network(tr, base_config());
+  VectorTraceSource source(tr);
+  const NetworkReplayResult streamed =
+      replay_over_network(source, base_config(), /*chunk_records=*/257);
+  EXPECT_EQ(streamed.requests, reference.requests);
+  EXPECT_EQ(streamed.completed, reference.completed);
+  EXPECT_EQ(streamed.edge_hits, reference.edge_hits);
+  EXPECT_EQ(streamed.core_hits, reference.core_hits);
+  EXPECT_EQ(streamed.producer_fetches, reference.producer_fetches);
+  EXPECT_DOUBLE_EQ(streamed.rtt_ms.mean(), reference.rtt_ms.mean());
+  EXPECT_EQ(streamed.malformed_records, 0u);
+}
+
+TEST(NetworkReplay, EmptyTraceYieldsEmptyResult) {
+  const Trace empty;
+  const NetworkReplayResult in_memory = replay_over_network(empty, base_config());
+  EXPECT_EQ(in_memory.requests, 0u);
+  EXPECT_EQ(in_memory.completed, 0u);
+  EXPECT_EQ(in_memory.rtt_ms.size(), 0u);
+
+  VectorTraceSource source(empty);
+  const NetworkReplayResult streamed = replay_over_network(source, base_config(), 64);
+  EXPECT_EQ(streamed.requests, 0u);
+  EXPECT_EQ(streamed.completed, 0u);
+}
+
+TEST(NetworkReplay, SingleUserDrivesExactlyOneEdgeRouter) {
+  TraceGenConfig gen;
+  gen.num_users = 1;
+  gen.num_objects = 300;
+  gen.num_requests = 1'000;
+  gen.seed = 9;
+  const Trace tr = generate_trace(gen);
+  const NetworkReplayResult result = replay_over_network(tr, base_config());
+  EXPECT_EQ(result.completed, tr.size());
+  // All requests enter at edge user_id % 3 == 0; with one consumer behind
+  // one edge there is no cross-edge sharing, so the core only ever sees
+  // that edge's misses and can still hit on repeats.
+  EXPECT_GT(result.edge_hits, 0u);
+  // Interest collapsing can shave a few served-once requests off the sum.
+  EXPECT_LE(result.edge_hits + result.core_hits + result.producer_fetches, tr.size());
+  EXPECT_GE(result.edge_hits + result.core_hits + result.producer_fetches,
+            tr.size() * 95 / 100);
+}
+
+TEST(NetworkReplay, FewerUsersThanEdgesLeavesIdleEdgesHarmless) {
+  TraceGenConfig gen;
+  gen.num_users = 2;
+  gen.num_objects = 300;
+  gen.num_requests = 800;
+  gen.seed = 11;
+  const Trace tr = generate_trace(gen);
+  NetworkReplayConfig config = base_config();
+  config.edge_routers = 8;  // 6 edges never receive a request
+  const NetworkReplayResult result = replay_over_network(tr, config);
+  EXPECT_EQ(result.completed, tr.size());
+  EXPECT_EQ(result.rtt_ms.size(), tr.size());
+}
+
+TEST(NetworkReplay, CoreServesFanInAcrossEdges) {
+  // Users on different edges requesting the same content: the first edge's
+  // miss populates the core, the second edge's miss is served there without
+  // touching the producer.
+  Trace tr;
+  const ndn::Name shared("/web/dom1/obj1");
+  // user 0 -> edge 0, user 1 -> edge 1 (user_id % edge_routers).
+  tr.records.push_back({1.0, 0, shared, 8'192});
+  tr.records.push_back({2.0, 1, shared, 8'192});
+  NetworkReplayConfig config = base_config();
+  config.edge_routers = 2;
+  // Real time: a full second between the requests, so the first fetch has
+  // completed (and populated the core) before the second arrives.
+  config.time_compression = 1.0;
+  const NetworkReplayResult result = replay_over_network(tr, config);
+  EXPECT_EQ(result.completed, 2u);
+  EXPECT_EQ(result.producer_fetches, 1u);
+  EXPECT_EQ(result.core_hits, 1u);
+  EXPECT_EQ(result.edge_hits, 0u);
+}
+
+TEST(NetworkReplay, StreamingRejectsAnUnsortedTrace) {
+  Trace tr;
+  tr.records.push_back({5.0, 0, ndn::Name("/web/dom1/obj1"), 8'192});
+  tr.records.push_back({1.0, 1, ndn::Name("/web/dom1/obj2"), 8'192});
+  VectorTraceSource source(tr);
+  EXPECT_THROW((void)replay_over_network(source, base_config(), 64), std::invalid_argument);
+  VectorTraceSource source2(tr);
+  EXPECT_THROW((void)replay_over_network(source2, base_config(), 0), std::invalid_argument);
+}
+
+TEST(NetworkReplay, StreamingSurfacesMalformedLineCount) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ndnp_netreplay_malformed.trace").string();
+  std::ofstream(path) << "0.5 0 /web/dom1/obj1 8192\n"
+                      << "not a record\n"
+                      << "1.5 1 /web/dom1/obj2 8192\n";
+  TextTraceSource source(path, ParseOptions{.max_malformed = 3});
+  const NetworkReplayResult result = replay_over_network(source, base_config(), 64);
+  std::remove(path.c_str());
+  EXPECT_EQ(result.requests, 2u);
+  EXPECT_EQ(result.completed, 2u);
+  EXPECT_EQ(result.malformed_records, 1u);
 }
 
 }  // namespace

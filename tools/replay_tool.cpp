@@ -7,6 +7,7 @@
 //               [--cache N] [--eviction lru|fifo|lfu|random]
 //               [--private-fraction F] [--k N] [--epsilon E] [--delta D]
 //               [--admission P] [--seed N] [--json]
+//               [--shards N] [--chunk N] [--max-malformed N]
 //               [--trace-out PATH] [--trace-filter PREFIX] [--log-level L]
 //
 // With several --trace files the replays fan across --jobs threads on the
@@ -14,6 +15,15 @@
 // print in trace order, identical for any jobs count. --json replaces the
 // human-readable tables with the merged metrics JSON (per-trace snapshots +
 // cross-trace aggregate), so stdout is directly machine-parseable.
+//
+// --shards N switches to the streaming sharded replayer (docs/SCALE.md):
+// each trace is streamed from disk — never materialized — through N
+// independent edge-router shards (users pinned by stable hash), fanned
+// across --jobs threads. The merged output is byte-identical for any
+// --jobs value. Trace files may be plain text or the chunked binary format
+// (sniffed by magic); --chunk bounds the per-shard record buffer.
+// --max-malformed tolerates up to N malformed input lines (counted and
+// reported; default 0 = fail on the first).
 //
 // --trace-out captures a flight-recorder event stream per replay (".jsonl"
 // for the line-oriented dump readable by trace_inspect, anything else for
@@ -31,7 +41,9 @@
 #include "core/theory.hpp"
 #include "runner/experiments.hpp"
 #include "runner/runner.hpp"
+#include "runner/sharded_replay.hpp"
 #include "trace/replayer.hpp"
+#include "trace/stream.hpp"
 #include "util/logging.hpp"
 
 namespace {
@@ -43,9 +55,17 @@ void usage(const char* argv0) {
       "          [--policy none|always-delay|uniform|expo|naive]\n"
       "          [--cache N] [--eviction lru|fifo|lfu|random] [--private-fraction F]\n"
       "          [--k N] [--epsilon E] [--delta D] [--admission P] [--seed N] [--json]\n"
+      "          [--shards N] [--chunk N] [--max-malformed N]\n"
       "          [--trace-out PATH] [--trace-filter PREFIX]\n"
       "          [--log-level error|warn|info|debug|trace]\n"
       "\n"
+      "  --shards N            stream each trace through N independent router\n"
+      "                        shards (users pinned by stable hash) instead of\n"
+      "                        one in-memory router; byte-identical merged\n"
+      "                        output for any --jobs value\n"
+      "  --chunk N             records buffered per shard pass (default 65536)\n"
+      "  --max-malformed N     tolerate up to N malformed trace lines\n"
+      "                        (counted and reported; default 0)\n"
       "  --trace-out PATH      write a flight-recorder capture per replay; a\n"
       "                        .jsonl suffix selects the JSONL event dump\n"
       "                        (readable by trace_inspect), anything else the\n"
@@ -68,6 +88,9 @@ int main(int argc, char** argv) {
   double epsilon = 0.005;
   double delta = 0.05;
   std::size_t jobs = 1;
+  std::size_t shards = 0;
+  std::size_t chunk_records = 64 * 1024;
+  std::uint64_t max_malformed = 0;
   bool emit_json = false;
   runner::SweepTraceCapture capture;
 
@@ -94,6 +117,12 @@ int main(int argc, char** argv) {
     }
     else if (arg == "--json")
       emit_json = true;
+    else if (arg == "--shards")
+      shards = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--chunk")
+      chunk_records = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--max-malformed")
+      max_malformed = static_cast<std::uint64_t>(std::atoll(next()));
     else if (arg == "--policy")
       policy_name = next();
     else if (arg == "--cache")
@@ -148,16 +177,36 @@ int main(int argc, char** argv) {
   }
 
   std::vector<trace::Trace> traces;
-  traces.reserve(trace_paths.size());
-  for (const std::string& path : trace_paths) {
-    std::ifstream in(path);
-    if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", path.c_str());
-      return 1;
+  std::vector<std::uint64_t> trace_malformed;
+  if (shards == 0) {
+    // In-memory path; the sharded path streams from disk and never loads.
+    traces.reserve(trace_paths.size());
+    for (const std::string& path : trace_paths) {
+      trace::ParseOptions options;
+      options.max_malformed = max_malformed;
+      try {
+        // open_trace_source sniffs the format, so text and binary traces
+        // both work here (same as the sharded path).
+        const auto source = trace::open_trace_source(path, options);
+        trace::Trace tr;
+        tr.catalogue_size = source->catalogue_size();
+        std::vector<trace::TraceRecord> chunk;
+        while (source->next_chunk(chunk, 64 * 1024))
+          tr.records.insert(tr.records.end(), std::make_move_iterator(chunk.begin()),
+                            std::make_move_iterator(chunk.end()));
+        trace_malformed.push_back(source->stats().malformed);
+        traces.push_back(std::move(tr));
+      } catch (const trace::TraceParseError& error) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(), error.what());
+        return 1;
+      }
+      std::fprintf(stderr, "loaded %s: %zu requests (%zu distinct names", path.c_str(),
+                   traces.back().size(), traces.back().distinct_names());
+      if (trace_malformed.back() > 0)
+        std::fprintf(stderr, ", %llu malformed line(s) skipped",
+                     static_cast<unsigned long long>(trace_malformed.back()));
+      std::fprintf(stderr, ")\n");
     }
-    traces.push_back(trace::parse_trace(in));
-    std::fprintf(stderr, "loaded %s: %zu requests (%zu distinct names)\n", path.c_str(),
-                 traces.back().size(), traces.back().distinct_names());
   }
 
   if (policy_name == "none") {
@@ -193,6 +242,58 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (shards > 0) {
+    // Streaming sharded replay, one trace at a time (each already fans its
+    // shards across --jobs threads).
+    runner::ShardedReplayConfig sharded;
+    sharded.shards = shards;
+    sharded.jobs = jobs;
+    sharded.chunk_records = chunk_records;
+    sharded.master_seed = config.seed;
+    sharded.replay = config;
+    for (std::size_t t = 0; t < trace_paths.size(); ++t) {
+      const std::string& path = trace_paths[t];
+      trace::ParseOptions options;
+      options.max_malformed = max_malformed;
+      runner::ShardedReplayResult result;
+      try {
+        result = runner::replay_sharded(
+            [&path, options] { return trace::open_trace_source(path, options); }, sharded);
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(), error.what());
+        return 1;
+      }
+      if (emit_json) {
+        std::printf("%s\n", result.merged_json().c_str());
+        continue;
+      }
+      if (trace_paths.size() > 1) std::printf("=== trace %s ===\n", path.c_str());
+      std::printf("policy=%s shards=%zu jobs=%zu cache=%zu eviction=%s private=%.0f%%\n",
+                  policy_name.c_str(), shards, jobs, config.cache_capacity,
+                  std::string(cache::to_string(config.eviction)).c_str(),
+                  config.private_fraction * 100.0);
+      const auto merged_counter = [&result](const char* name) -> unsigned long long {
+        const auto it = result.merged.counters.find(name);
+        return it == result.merged.counters.end() ? 0ULL : it->second;
+      };
+      std::printf("records             %llu\n",
+                  static_cast<unsigned long long>(result.records));
+      std::printf("malformed lines     %llu\n",
+                  static_cast<unsigned long long>(result.malformed_records));
+      std::printf("exposed hits        %llu (%.2f%%)\n", merged_counter("engine.exposed_hits"),
+                  result.merged.gauges.at("replay.hit_rate_pct"));
+      std::printf("delayed hits        %llu\n", merged_counter("engine.delayed_hits"));
+      std::printf("simulated misses    %llu\n", merged_counter("engine.simulated_misses"));
+      std::printf("true misses         %llu\n", merged_counter("engine.true_misses"));
+      std::printf("served from cache   %.2f%%\n",
+                  result.merged.gauges.at("replay.cache_served_pct"));
+      std::printf("mean response       %.3f ms\n",
+                  result.merged.gauges.at("replay.mean_response_ms"));
+      std::printf("wall seconds        %.3f\n", result.wall_seconds);
+    }
+    return 0;
+  }
+
   // One run per trace, fanned across --jobs threads; each run gets a fresh
   // engine via the policy factory, so traces never share mutable state.
   struct TraceRunResult {
@@ -212,6 +313,7 @@ int main(int argc, char** argv) {
         out.replay = trace::replay(traces[ctx.run_index], run_config);
         out.metrics = registry.snapshot();
         out.metrics.counters["replay.private_requests"] = out.replay.private_requests;
+        out.metrics.counters["replay.malformed_records"] = trace_malformed[ctx.run_index];
         out.metrics.gauges["replay.hit_rate_pct"] = out.replay.hit_rate_pct();
         out.metrics.gauges["replay.cache_served_pct"] = out.replay.cache_served_pct();
         out.metrics.gauges["replay.mean_response_ms"] = out.replay.mean_response_ms;
@@ -248,6 +350,8 @@ int main(int argc, char** argv) {
     std::printf("mean response       %.3f ms\n", result.mean_response_ms);
     std::printf("private requests    %llu\n",
                 static_cast<unsigned long long>(result.private_requests));
+    std::printf("malformed lines     %llu\n",
+                static_cast<unsigned long long>(trace_malformed[t]));
   }
 
   return 0;
