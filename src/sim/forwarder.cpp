@@ -39,24 +39,27 @@ void Forwarder::receive_interest(const ndn::Interest& interest, FaceId in_face) 
   NDNP_TRACE_EVENT(util::TraceEventType::kInterestRx, name(), now(), interest.name.to_uri(),
                    interest.private_req ? "private=1" : "private=0",
                    static_cast<std::int64_t>(in_face));
+  const util::PoolRef<ndn::Interest> pending = pooled_copy(interest);
   scheduler().schedule_in(config_.processing_delay,
-                          [this, interest, in_face] { handle_interest(interest, in_face); });
+                          [this, pending, in_face] { handle_interest(*pending, in_face); });
 }
 
 void Forwarder::receive_data(const ndn::Data& data, FaceId in_face) {
   ++stats_.data_received;
   NDNP_TRACE_EVENT(util::TraceEventType::kDataRx, name(), now(), data.name.to_uri(), {},
                    static_cast<std::int64_t>(in_face));
+  const util::PoolRef<ndn::Data> pending = pooled_copy(data);
   scheduler().schedule_in(config_.processing_delay,
-                          [this, data, in_face] { handle_data(data, in_face); });
+                          [this, pending, in_face] { handle_data(*pending, in_face); });
 }
 
 void Forwarder::receive_nack(const ndn::Nack& nack, FaceId in_face) {
   ++stats_.nacks_received;
   NDNP_TRACE_EVENT(util::TraceEventType::kNackRx, name(), now(), nack.interest.name.to_uri(),
                    {}, static_cast<std::int64_t>(in_face));
+  const util::PoolRef<ndn::Nack> pending = pooled_copy(nack);
   scheduler().schedule_in(config_.processing_delay,
-                          [this, nack, in_face] { handle_nack(nack, in_face); });
+                          [this, pending, in_face] { handle_nack(*pending, in_face); });
 }
 
 Forwarder::PitEntry* Forwarder::pit_find(std::uint64_t name_hash,
@@ -99,9 +102,10 @@ void Forwarder::handle_interest(const ndn::Interest& interest, FaceId in_face) {
         return;
       case core::LookupAction::kDelayedHit: {
         ++stats_.delayed_hits;
-        const ndn::Data data = entry->data;  // copy: entry may be evicted meanwhile
+        // Pooled copy: the CS entry may be evicted before the delay fires.
+        const util::PoolRef<ndn::Data> held = pooled_copy(entry->data);
         scheduler().schedule_in(decision.artificial_delay,
-                                [this, in_face, data] { send_data(in_face, data); });
+                                [this, in_face, held] { send_data(in_face, *held); });
         return;
       }
       case core::LookupAction::kSimulatedMiss:
@@ -294,9 +298,9 @@ void Forwarder::handle_data(const ndn::Data& data, FaceId) {
         pad = std::max(pad, downstream.arrived_at - match->created_at);
       }
       if (pad > 0) {
-        const ndn::Data copy = data;
+        const util::PoolRef<ndn::Data> held = pooled_copy(data);
         const FaceId face = downstream.face;
-        scheduler().schedule_in(pad, [this, face, copy] { send_data(face, copy); });
+        scheduler().schedule_in(pad, [this, face, held] { send_data(face, *held); });
       } else {
         send_data(downstream.face, data);
       }

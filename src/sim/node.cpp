@@ -41,7 +41,7 @@ void Node::receive_nack(const ndn::Nack& nack, FaceId) {
             nack.interest.name.to_uri().c_str());
 }
 
-void Node::transmit(FaceId face, std::size_t wire_bytes, std::function<void()> deliver,
+void Node::transmit(FaceId face, std::size_t wire_bytes, EventFn deliver,
                     const char* kind, const std::string& name_uri,
                     util::SimDuration extra_delay) {
   FaceEnd& end = faces_.at(face);
@@ -82,7 +82,7 @@ void Node::transmit(FaceId face, std::size_t wire_bytes, std::function<void()> d
       tracer != nullptr && tracer->enabled() && end.peer != nullptr) {
     deliver = [inner = std::move(deliver), sched = &scheduler_, rx_node = end.peer->name(),
                rx_face = static_cast<std::int64_t>(end.peer_face), uri = name_uri,
-               detail = std::string("kind=") + kind] {
+               detail = std::string("kind=") + kind]() mutable {
       NDNP_TRACE_EVENT(util::TraceEventType::kLinkDequeue, rx_node, sched->now(), uri, detail,
                        rx_face);
       inner();
@@ -94,7 +94,7 @@ void Node::transmit(FaceId face, std::size_t wire_bytes, std::function<void()> d
   // benign hot paths do not pay; face indices are stable, so capturing the
   // index survives later connect() reallocation of faces_).
   if (end.fault_state != nullptr) {
-    deliver = [this, face, inner = std::move(deliver)] {
+    deliver = [this, face, inner = std::move(deliver)]() mutable {
       ++faces_[face].accounting.deliveries;
       inner();
     };
@@ -170,10 +170,14 @@ void Node::transmit_packet(FaceId face, const Packet& packet, const char* kind) 
     extra_delay = action.extra_delay;
     if (action.duplicate) copies = 2;
   }
+  // One pooled copy shared by all scheduled deliveries (fault duplication
+  // included); the pool recycles the buffer capacity once the last copy is
+  // dispatched.
+  util::PoolRef<Packet> pooled = pooled_copy(*to_send);
   for (int i = 0; i < copies; ++i) {
     transmit(
         face, to_send->wire_size(),
-        [peer, peer_face, copy = *to_send] { dispatch(*peer, peer_face, copy); }, kind, uri,
+        [peer, peer_face, pooled] { dispatch(*peer, peer_face, *pooled); }, kind, uri,
         extra_delay);
   }
 }

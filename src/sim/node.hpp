@@ -12,12 +12,14 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "ndn/packet.hpp"
 #include "sim/faults.hpp"
 #include "sim/link.hpp"
 #include "sim/scheduler.hpp"
+#include "util/slab.hpp"
 
 namespace ndnp::util {
 class MetricsRegistry;
@@ -94,6 +96,27 @@ class Node {
  protected:
   [[nodiscard]] util::Rng& rng() noexcept { return rng_; }
 
+  /// Pooled copy of a packet for capture in scheduled events. The handle's
+  /// object is recycled (not destroyed) when the last capture drops, so its
+  /// Name components / payload buffers keep their capacity and steady-state
+  /// in-flight copies stop allocating. Handles pin the pool itself, so they
+  /// stay valid even if this node is destroyed while packets are in flight.
+  template <typename Packet>
+  [[nodiscard]] util::PoolRef<Packet> pooled_copy(const Packet& packet) {
+    util::PoolRef<Packet> ref = [this] {
+      if constexpr (std::is_same_v<Packet, ndn::Interest>) {
+        return interest_pool_->acquire();
+      } else if constexpr (std::is_same_v<Packet, ndn::Data>) {
+        return data_pool_->acquire();
+      } else {
+        static_assert(std::is_same_v<Packet, ndn::Nack>, "unknown packet type");
+        return nack_pool_->acquire();
+      }
+    }();
+    *ref = packet;  // assignment into recycled capacity
+    return ref;
+  }
+
  private:
   struct FaceEnd {
     Node* peer = nullptr;
@@ -110,8 +133,10 @@ class Node {
 
   /// Common transmission path: samples loss/delay (plus queueing when
   /// enabled) and schedules `deliver` at the arrival time, `extra_delay`
-  /// (fault-injected reorder/spike hold-back) later.
-  void transmit(FaceId face, std::size_t wire_bytes, std::function<void()> deliver,
+  /// (fault-injected reorder/spike hold-back) later. Takes the scheduler's
+  /// native EventFn so the pooled-capture delivery closure moves straight
+  /// into the event node without a std::function heap hop.
+  void transmit(FaceId face, std::size_t wire_bytes, EventFn deliver,
                 const char* kind, const std::string& name_uri,
                 util::SimDuration extra_delay = 0);
 
@@ -126,6 +151,11 @@ class Node {
   std::string name_;
   util::Rng rng_;
   std::vector<FaceEnd> faces_;
+  /// Recycling pools backing pooled_copy() (one per packet type).
+  std::shared_ptr<util::ObjectPool<ndn::Interest>> interest_pool_ =
+      util::ObjectPool<ndn::Interest>::make();
+  std::shared_ptr<util::ObjectPool<ndn::Data>> data_pool_ = util::ObjectPool<ndn::Data>::make();
+  std::shared_ptr<util::ObjectPool<ndn::Nack>> nack_pool_ = util::ObjectPool<ndn::Nack>::make();
 };
 
 std::pair<FaceId, FaceId> connect(Node& a, Node& b, const LinkConfig& config);

@@ -1,30 +1,128 @@
 // Discrete-event scheduler.
 //
-// A binary heap of (time, sequence)-ordered events; equal-time events run
-// in schedule order (FIFO), which keeps packet-level simulations
-// deterministic. Single-threaded by design: network simulations at this
-// scale are dominated by event dispatch, and determinism is worth more to
-// the experiments than parallelism.
+// Two implementations of one contract (see docs/PERFORMANCE.md):
+//
+//  - `WheelScheduler` (the default): a hierarchical timer wheel (calendar
+//    queue) of 7 levels x 256 slots over 1.024 us ticks, with event nodes
+//    carved from a slab free-list and callables stored inline in the node
+//    (util::SmallFunction). Steady-state schedule/run cycles perform zero
+//    heap allocations once the peak working set has been carved. Events
+//    whose tick has been reached are drained through a small (when, seq)
+//    binary heap, which is what preserves the exact dispatch contract.
+//
+//  - `HeapScheduler` (the reference): the original binary-heap
+//    implementation, kept as the obviously-correct baseline. Build with
+//    -DNDNP_SCHEDULER_REFERENCE=1 to make it the simulation-wide
+//    `Scheduler`; tests/test_scheduler_differential.cpp proves the two
+//    dispatch identically over seeded random workloads.
+//
+// The shared contract, which makes runs byte-identical across --jobs:
+// events dispatch in strict (time, sequence) order — time never runs
+// backwards, and equal-time events run in schedule (FIFO) order.
+// Single-threaded by design: network simulations at this scale are
+// dominated by event dispatch, and determinism is worth more to the
+// experiments than parallelism.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <stdexcept>
+#include <type_traits>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "util/sim_time.hpp"
+#include "util/slab.hpp"
+#include "util/small_function.hpp"
 
 namespace ndnp::sim {
 
-class Scheduler {
+/// Inline capture budget for scheduled events. Sized for the simulation's
+/// common captures (a couple of pointers plus a pooled packet handle);
+/// larger callables transparently fall back to one heap node each, counted
+/// by `heap_fallback_events()`.
+inline constexpr std::size_t kEventInlineBytes = 96;
+using EventFn = util::SmallFunction<kEventInlineBytes>;
+
+/// Opaque handle to a cancellable event (see schedule_cancellable_at).
+struct EventHandle {
+  std::uint64_t seq = ~0ULL;
+};
+
+namespace detail {
+
+/// Shared argument validation: rejects null std::function-likes (anything
+/// contextually convertible to bool) while accepting plain lambdas.
+template <typename F>
+void throw_if_null_event(const F& event) {
+  if constexpr (std::is_constructible_v<bool, const std::decay_t<F>&>) {
+    if (!static_cast<bool>(event)) throw std::invalid_argument("Scheduler: null event");
+  }
+}
+
+inline void throw_if_past(util::SimTime when, util::SimTime now) {
+  if (when < now) throw std::logic_error("Scheduler: cannot schedule in the past");
+}
+
+inline void throw_if_negative(util::SimDuration delay) {
+  if (delay < 0) throw std::logic_error("Scheduler: negative delay");
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// WheelScheduler: hierarchical timer wheel + slab-pooled events.
+
+class WheelScheduler {
  public:
+  /// Compatibility alias; schedule_* accept any void() callable directly
+  /// (std::function included), so most callers never name this type.
   using Event = std::function<void()>;
 
+  WheelScheduler() = default;
+  WheelScheduler(const WheelScheduler&) = delete;
+  WheelScheduler& operator=(const WheelScheduler&) = delete;
+  ~WheelScheduler();
+
   /// Schedule at an absolute time; must not be in the past.
-  void schedule_at(util::SimTime when, Event event);
+  template <typename F>
+  void schedule_at(util::SimTime when, F&& event) {
+    detail::throw_if_past(when, now_);
+    detail::throw_if_null_event(event);
+    (void)enqueue(when, EventFn(std::forward<F>(event)), false);
+  }
 
   /// Schedule `delay` after the current time (delay >= 0).
-  void schedule_in(util::SimDuration delay, Event event);
+  template <typename F>
+  void schedule_in(util::SimDuration delay, F&& event) {
+    detail::throw_if_negative(delay);
+    schedule_at(now_ + delay, std::forward<F>(event));
+  }
+
+  /// Like schedule_at, but the returned handle can cancel the event before
+  /// it runs. Cancellation is O(1) amortized; cancelled events never
+  /// dispatch and do not count as processed. Only cancellable events touch
+  /// the side table, so the plain schedule_* hot path stays allocation-free.
+  template <typename F>
+  [[nodiscard]] EventHandle schedule_cancellable_at(util::SimTime when, F&& event) {
+    detail::throw_if_past(when, now_);
+    detail::throw_if_null_event(event);
+    return EventHandle{enqueue(when, EventFn(std::forward<F>(event)), true)};
+  }
+
+  template <typename F>
+  [[nodiscard]] EventHandle schedule_cancellable_in(util::SimDuration delay, F&& event) {
+    detail::throw_if_negative(delay);
+    return schedule_cancellable_at(now_ + delay, std::forward<F>(event));
+  }
+
+  /// Cancel a pending cancellable event. Returns true if the event was
+  /// still pending (it will not run); false if it already ran or was
+  /// already cancelled.
+  bool cancel(EventHandle handle);
 
   /// Current simulation time: the timestamp of the event being processed,
   /// or of the last processed event when idle.
@@ -37,17 +135,149 @@ class Scheduler {
   void run();
 
   /// Run events with timestamp <= `until` (the clock then advances to
-  /// `until` even if the queue drained earlier).
+  /// `until` even if the queue drained earlier; a deadline already in the
+  /// past runs nothing and leaves the clock untouched).
   void run_until(util::SimTime until);
 
-  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return live_; }
   [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
+
+  // --- introspection for tests / benches -----------------------------------
+  /// Events whose callable did not fit the inline buffer (heap fallback).
+  [[nodiscard]] std::uint64_t heap_fallback_events() const noexcept {
+    return heap_fallback_events_;
+  }
+  /// Higher-level slot redistributions performed so far.
+  [[nodiscard]] std::uint64_t cascades() const noexcept { return cascades_; }
+  /// Slab chunks backing the event nodes (stable after warm-up).
+  [[nodiscard]] std::size_t slab_chunks() const noexcept { return slab_.chunks(); }
+  [[nodiscard]] std::size_t slab_peak_live() const noexcept { return slab_.peak_live(); }
+
+  static constexpr const char* kImplName = "wheel";
+
+ private:
+  // 1.024 us per level-0 tick; 7 levels x 256 slots cover 66 bits of
+  // nanoseconds, i.e. the full non-negative SimTime range.
+  static constexpr int kTickShift = 10;
+  static constexpr int kLevelBits = 8;
+  static constexpr std::size_t kSlots = std::size_t{1} << kLevelBits;
+  static constexpr std::size_t kSlotMask = kSlots - 1;
+  static constexpr int kLevels = 7;
+  static constexpr std::size_t kBitmapWords = kSlots / 64;
+
+  struct EventNode {
+    util::SimTime when;
+    std::uint64_t seq;
+    bool cancellable;
+    EventNode* next;
+    EventFn fn;
+
+    EventNode(util::SimTime w, std::uint64_t s, bool c, EventFn f)
+        : when(w), seq(s), cancellable(c), next(nullptr), fn(std::move(f)) {}
+  };
+
+  struct ReadyItem {
+    util::SimTime when;
+    std::uint64_t seq;
+    EventNode* node;
+  };
+  /// Min-heap comparator: true when `a` dispatches after `b`.
+  struct DispatchesAfter {
+    bool operator()(const ReadyItem& a, const ReadyItem& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  static constexpr std::uint64_t tick_of(util::SimTime when) noexcept {
+    return static_cast<std::uint64_t>(when) >> kTickShift;
+  }
+
+  std::uint64_t enqueue(util::SimTime when, EventFn fn, bool cancellable);
+  void place(EventNode* node);
+  void ready_push(EventNode* node);
+  void reap_ready_top();
+  bool ensure_ready();
+  void advance();
+  void cascade(int level, std::size_t idx);
+  void dump_slot(std::size_t idx);
+  void dispatch_front();
+  [[nodiscard]] int next_occupied(int level, std::size_t from) const noexcept;
+  [[nodiscard]] bool is_cancelled(const EventNode& node) const {
+    return node.cancellable && live_cancellable_.find(node.seq) == live_cancellable_.end();
+  }
+
+  util::Slab<EventNode> slab_;
+  EventNode* slots_[kLevels][kSlots] = {};
+  std::uint64_t bitmap_[kLevels][kBitmapWords] = {};
+  std::vector<ReadyItem> ready_;
+  /// Tick whose level-0 slot has been drained into `ready_`; events at or
+  /// before it go straight to the ready heap.
+  std::uint64_t cursor_tick_ = 0;
+  std::set<std::uint64_t> live_cancellable_;  // ordered: determinism guard bans hash sets
+
+  util::SimTime now_ = util::kTimeZero;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  /// Sequence number of the most recently dispatched event; together with
+  /// now_ this lets dispatch assert (time, seq) order.
+  std::uint64_t last_seq_ = 0;
+  std::size_t live_ = 0;
+  std::uint64_t heap_fallback_events_ = 0;
+  std::uint64_t cascades_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// HeapScheduler: the original binary-heap implementation, kept as the
+// reference the differential soak harness replays against.
+
+class HeapScheduler {
+ public:
+  using Event = std::function<void()>;
+
+  template <typename F>
+  void schedule_at(util::SimTime when, F&& event) {
+    detail::throw_if_past(when, now_);
+    detail::throw_if_null_event(event);
+    (void)enqueue(when, EventFn(std::forward<F>(event)), false);
+  }
+
+  template <typename F>
+  void schedule_in(util::SimDuration delay, F&& event) {
+    detail::throw_if_negative(delay);
+    schedule_at(now_ + delay, std::forward<F>(event));
+  }
+
+  template <typename F>
+  [[nodiscard]] EventHandle schedule_cancellable_at(util::SimTime when, F&& event) {
+    detail::throw_if_past(when, now_);
+    detail::throw_if_null_event(event);
+    return EventHandle{enqueue(when, EventFn(std::forward<F>(event)), true)};
+  }
+
+  template <typename F>
+  [[nodiscard]] EventHandle schedule_cancellable_in(util::SimDuration delay, F&& event) {
+    detail::throw_if_negative(delay);
+    return schedule_cancellable_at(now_ + delay, std::forward<F>(event));
+  }
+
+  bool cancel(EventHandle handle);
+
+  [[nodiscard]] util::SimTime now() const noexcept { return now_; }
+  bool run_one();
+  void run();
+  void run_until(util::SimTime until);
+  [[nodiscard]] std::size_t pending() const noexcept { return live_; }
+  [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
+
+  static constexpr const char* kImplName = "heap";
 
  private:
   struct Item {
     util::SimTime when;
     std::uint64_t seq;
-    Event event;
+    bool cancellable;
+    EventFn fn;
   };
   struct Later {
     bool operator()(const Item& a, const Item& b) const noexcept {
@@ -56,13 +286,25 @@ class Scheduler {
     }
   };
 
+  std::uint64_t enqueue(util::SimTime when, EventFn fn, bool cancellable);
+  void reap_cancelled_top();
+
   std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  std::set<std::uint64_t> live_cancellable_;  // ordered: determinism guard bans hash sets
   util::SimTime now_ = util::kTimeZero;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
-  /// Sequence number of the most recently dispatched event; together with
-  /// now_ this lets run_one() assert (time, seq) dispatch order.
   std::uint64_t last_seq_ = 0;
+  std::size_t live_ = 0;
 };
+
+/// The simulation-wide scheduler. -DNDNP_SCHEDULER_REFERENCE=1 swaps in the
+/// binary-heap reference implementation (a full-suite CI job pins golden
+/// byte-identity under it).
+#if defined(NDNP_SCHEDULER_REFERENCE) && NDNP_SCHEDULER_REFERENCE
+using Scheduler = HeapScheduler;
+#else
+using Scheduler = WheelScheduler;
+#endif
 
 }  // namespace ndnp::sim

@@ -170,6 +170,68 @@ TEST(Golden, Fig4aMatchesGoldenVectorsAcrossDeltas) {
   }
 }
 
+// --- Parallelism must not perturb golden outputs ---------------------------
+// The runner promises byte-identical output for any --jobs value: work is
+// partitioned by run index, every run owns a seeded RNG derived from that
+// index, and merges happen in index order. With the timer-wheel scheduler
+// underneath every replayed cell, this sweep re-locks that promise — each
+// experiment family reproduces the exact same golden bytes at jobs 1, 4
+// and 8.
+
+TEST(Golden, Fig5aByteIdenticalAcrossJobsSweep) {
+  for (const std::size_t jobs : {1u, 4u, 8u}) {
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    runner::Fig5aConfig config = fig5a_config(99);
+    config.jobs = jobs;
+    const runner::Fig5aResult result = runner::run_fig5a(config);
+    expect_matches_golden("fig5a_seed99", result.format_table());
+  }
+}
+
+TEST(Golden, Fig4aByteIdenticalAcrossJobsSweep) {
+  for (const std::size_t jobs : {1u, 4u, 8u}) {
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    runner::Fig4aConfig config;
+    config.jobs = jobs;
+    const runner::Fig4aResult result = runner::run_fig4a(config);
+    expect_matches_golden("fig4a_delta5", result.format_table());
+  }
+}
+
+TEST(Golden, TheoryValidationByteIdenticalAcrossJobsSweep) {
+  for (const std::size_t jobs : {1u, 4u, 8u}) {
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    runner::TheoryValidationConfig config;
+    config.trials = 20'000;
+    config.jobs = jobs;
+    const runner::TheoryValidationResult result = runner::run_theory_validation(config);
+    expect_matches_golden("theory_seed0",
+                          result.format_utility_table() + "\n" + result.format_privacy_table());
+  }
+}
+
+TEST(Golden, ShardedReplayByteIdenticalAcrossJobsSweep) {
+  trace::TraceGenConfig gen;
+  gen.num_users = 24;
+  gen.num_objects = 2'000;
+  gen.num_requests = 8'000;
+  gen.seed = 17;
+  const trace::Trace tr = trace::generate_trace(gen);
+  for (const std::size_t jobs : {1u, 4u, 8u}) {
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    runner::ShardedReplayConfig config;
+    config.shards = 4;
+    config.jobs = jobs;
+    config.master_seed = 99;
+    config.replay.cache_capacity = 200;
+    config.replay.policy_factory = [] {
+      return core::RandomCachePolicy::exponential(0.999, 201, 5);
+    };
+    const runner::ShardedReplayResult result = runner::replay_sharded(tr, config);
+    expect_matches_golden("sharded_replay_seed99", result.merged_json() + "\n");
+  }
+}
+
 // --- Flight recorder must not perturb golden outputs -----------------------
 // The tracer only observes: it never draws RNG, never schedules events.
 // Re-running the experiments with per-run tracers bound (in-memory capture)

@@ -1,0 +1,283 @@
+// Differential soak test: the timer-wheel scheduler vs the binary-heap
+// reference, in the style of test_cs_differential.cpp.
+//
+// Both schedulers are driven in lockstep through identical seeded op
+// streams — schedule_at / schedule_in at wildly mixed time scales (same
+// tick, sub-tick, cross-slot, cross-level, far-future), cancellable
+// schedules, cancellations, run_one, run_until — while every dispatched
+// event deterministically decides (from a SplitMix64 stream keyed by its
+// own id) whether to schedule children of its own. After every control op
+// the externally observable state must match exactly: dispatch log
+// (event id, timestamp) entries, clock, processed count, pending count,
+// and cancel() return values. At the end both queues are drained and the
+// full dispatch logs plus an FNV-1a digest are compared entry for entry.
+//
+// If the wheel's slot placement, bitmap scan, cascade tie-breaking, or
+// ready-heap ordering ever diverges from plain (time, seq) FIFO dispatch,
+// some op in these streams will catch it.
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+// ---------------------------------------------------------------------------
+// Counting allocator (same technique as test_tracing.cpp, which lives in a
+// different binary): replacement global operator new so the steady-state
+// zero-allocation proof below can compare deltas across a straight-line
+// region with no other allocation sources.
+
+namespace {
+std::atomic<std::size_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace ndnp::sim {
+namespace {
+
+// --- lockstep driver --------------------------------------------------------
+
+struct LogEntry {
+  std::uint64_t id;
+  util::SimTime at;
+  bool operator==(const LogEntry&) const = default;
+};
+
+/// One scheduler plus its observable dispatch history. Events are
+/// identified by ids assigned in schedule order (identical across drivers
+/// because dispatch order is identical); each dispatched event derives any
+/// children it spawns purely from its own id, so both drivers' event trees
+/// are equal by construction.
+template <typename Sched>
+class Driver {
+ public:
+  explicit Driver(std::uint64_t master_seed) : master_seed_(master_seed) {}
+
+  Sched& sched() { return sched_; }
+  const std::vector<LogEntry>& log() const { return log_; }
+  std::size_t handle_count() const { return handles_.size(); }
+
+  void schedule_plain(util::SimDuration delay, bool absolute) {
+    const std::uint64_t id = next_id_++;
+    auto event = [this, id] { on_dispatch(id); };
+    if (absolute) {
+      sched_.schedule_at(sched_.now() + delay, event);
+    } else {
+      sched_.schedule_in(delay, event);
+    }
+  }
+
+  void schedule_cancellable(util::SimDuration delay) {
+    const std::uint64_t id = next_id_++;
+    handles_.push_back(sched_.schedule_cancellable_in(delay, [this, id] { on_dispatch(id); }));
+  }
+
+  bool cancel(std::size_t handle_index) { return sched_.cancel(handles_[handle_index]); }
+
+  std::uint64_t digest() const {
+    std::uint64_t hash = 1469598103934665603ULL;  // FNV-1a offset basis
+    auto mix = [&hash](std::uint64_t value) {
+      for (int byte = 0; byte < 8; ++byte) {
+        hash ^= (value >> (8 * byte)) & 0xFF;
+        hash *= 1099511628211ULL;
+      }
+    };
+    for (const LogEntry& entry : log_) {
+      mix(entry.id);
+      mix(static_cast<std::uint64_t>(entry.at));
+    }
+    return hash;
+  }
+
+ private:
+  void on_dispatch(std::uint64_t id) {
+    log_.push_back(LogEntry{id, sched_.now()});
+    // Child decisions come from the event's own id, not the shared op
+    // stream, so nested scheduling exercises schedule-during-dispatch in
+    // both drivers identically.
+    util::SplitMix64 mix(master_seed_ ^ (id * 0x9E3779B97F4A7C15ULL));
+    const std::uint64_t roll = mix.next() % 100;
+    if (roll < 25) {  // one child, mixed magnitudes incl. same-timestamp
+      const std::uint64_t pick = mix.next() % 5;
+      const util::SimDuration delay =
+          pick == 0 ? 0
+                    : static_cast<util::SimDuration>(mix.next() % (std::uint64_t{1} << (6 * pick)));
+      const std::uint64_t child = next_id_++;
+      sched_.schedule_in(delay, [this, child] { on_dispatch(child); });
+    } else if (roll < 30) {  // two children at the same future instant
+      const util::SimDuration delay = static_cast<util::SimDuration>(1 + mix.next() % 2000);
+      const std::uint64_t first = next_id_++;
+      const std::uint64_t second = next_id_++;
+      sched_.schedule_at(sched_.now() + delay, [this, first] { on_dispatch(first); });
+      sched_.schedule_at(sched_.now() + delay, [this, second] { on_dispatch(second); });
+    }
+  }
+
+  Sched sched_;
+  std::uint64_t master_seed_;
+  std::uint64_t next_id_ = 1;
+  std::vector<LogEntry> log_;
+  std::vector<EventHandle> handles_;
+};
+
+/// Delay magnitudes deliberately straddle the wheel's structure: 0 (same
+/// timestamp), sub-tick (<1.024us), level-0 (<262us), level-1 (<67ms),
+/// level-2+ (<17s), and far-future (minutes).
+util::SimDuration random_delay(util::Rng& rng) {
+  switch (rng.uniform_u64(6)) {
+    case 0: return 0;
+    case 1: return static_cast<util::SimDuration>(rng.uniform_u64(1 << 10));
+    case 2: return static_cast<util::SimDuration>(rng.uniform_u64(std::uint64_t{1} << 18));
+    case 3: return static_cast<util::SimDuration>(rng.uniform_u64(std::uint64_t{1} << 26));
+    case 4: return static_cast<util::SimDuration>(rng.uniform_u64(std::uint64_t{1} << 34));
+    default: return static_cast<util::SimDuration>(rng.uniform_u64(std::uint64_t{1} << 38));
+  }
+}
+
+/// Replays `ops` identically generated control operations through both
+/// schedulers and asserts observable equivalence after every op.
+void run_soak(std::uint64_t seed, std::size_t ops) {
+  util::Rng rng(seed);
+  Driver<WheelScheduler> wheel(seed);
+  Driver<HeapScheduler> heap(seed);
+
+  for (std::size_t op = 0; op < ops; ++op) {
+    const std::uint64_t kind = rng.uniform_u64(100);
+    if (kind < 45) {
+      const util::SimDuration delay = random_delay(rng);
+      const bool absolute = rng.bernoulli(0.3);
+      wheel.schedule_plain(delay, absolute);
+      heap.schedule_plain(delay, absolute);
+    } else if (kind < 55) {
+      const util::SimDuration delay = random_delay(rng);
+      wheel.schedule_cancellable(delay);
+      heap.schedule_cancellable(delay);
+    } else if (kind < 65) {
+      if (wheel.handle_count() > 0) {
+        const std::size_t index = rng.uniform_u64(wheel.handle_count());
+        ASSERT_EQ(wheel.cancel(index), heap.cancel(index)) << "op " << op << " seed " << seed;
+      }
+    } else if (kind < 90) {
+      ASSERT_EQ(wheel.sched().run_one(), heap.sched().run_one())
+          << "op " << op << " seed " << seed;
+    } else if (kind < 98) {
+      const util::SimTime until = wheel.sched().now() + random_delay(rng);
+      wheel.sched().run_until(until);
+      heap.sched().run_until(until);
+    } else {
+      wheel.sched().run();
+      heap.sched().run();
+    }
+    ASSERT_EQ(wheel.sched().now(), heap.sched().now()) << "op " << op << " seed " << seed;
+    ASSERT_EQ(wheel.sched().processed(), heap.sched().processed())
+        << "op " << op << " seed " << seed;
+    ASSERT_EQ(wheel.sched().pending(), heap.sched().pending())
+        << "op " << op << " seed " << seed;
+    ASSERT_EQ(wheel.log().size(), heap.log().size()) << "op " << op << " seed " << seed;
+    if (!wheel.log().empty()) {
+      ASSERT_EQ(wheel.log().back(), heap.log().back()) << "op " << op << " seed " << seed;
+    }
+  }
+
+  wheel.sched().run();
+  heap.sched().run();
+  ASSERT_EQ(wheel.log().size(), heap.log().size()) << "seed " << seed;
+  for (std::size_t i = 0; i < wheel.log().size(); ++i) {
+    ASSERT_EQ(wheel.log()[i], heap.log()[i]) << "entry " << i << " seed " << seed;
+  }
+  EXPECT_EQ(wheel.digest(), heap.digest()) << "seed " << seed;
+  EXPECT_EQ(wheel.sched().now(), heap.sched().now()) << "seed " << seed;
+  EXPECT_EQ(wheel.sched().processed(), heap.sched().processed()) << "seed " << seed;
+  EXPECT_EQ(wheel.sched().pending(), heap.sched().pending()) << "seed " << seed;
+  EXPECT_GE(wheel.log().size(), ops / 2) << "soak dispatched suspiciously few events";
+}
+
+class SchedulerDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerDifferential, HundredThousandOpsDispatchIdentically) {
+  run_soak(GetParam(), 100'000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerDifferential,
+                         ::testing::Values(1ULL, 42ULL, 2013ULL, 0xC0FFEEULL));
+
+TEST(SchedulerDifferential, ShortStreamsManySeeds) {
+  for (std::uint64_t seed = 100; seed < 140; ++seed) run_soak(seed, 2'000);
+}
+
+// --- steady-state zero-allocation proof -------------------------------------
+
+TEST(SchedulerAllocation, SteadyStateScheduleRunCyclesAllocateNothing) {
+  WheelScheduler sched;
+  util::Rng rng(7);
+  std::uint64_t dispatched = 0;
+
+  // Self-rescheduling workload: ~256 outstanding events at mixed horizons,
+  // exercising ready heap, level-0 slots and cross-level cascades.
+  const auto pump = [&](std::size_t cycles) {
+    for (std::size_t i = 0; i < cycles; ++i) {
+      while (sched.pending() < 256) {
+        sched.schedule_in(random_delay(rng), [&dispatched] { ++dispatched; });
+      }
+      ASSERT_TRUE(sched.run_one());
+    }
+  };
+
+  // Warm-up: lets the slab carve its chunks and the ready heap / bitmap
+  // reach their peak footprint.
+  pump(20'000);
+
+  const std::size_t chunks_before = sched.slab_chunks();
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  pump(20'000);
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+  const std::size_t allocations = after - before;
+
+  EXPECT_EQ(allocations, 0u) << "steady-state schedule_in/run_one cycles must not allocate";
+  EXPECT_EQ(sched.slab_chunks(), chunks_before) << "slab grew after warm-up";
+  EXPECT_EQ(sched.heap_fallback_events(), 0u)
+      << "soak captures fit inline; heap fallback indicates SmallFunction regression";
+  EXPECT_GE(dispatched, 40'000u);
+}
+
+TEST(SchedulerAllocation, CountersExposeSlabAndFallbackState) {
+  WheelScheduler sched;
+  EXPECT_EQ(sched.slab_chunks(), 0u);
+  sched.schedule_in(10, [] {});
+  EXPECT_EQ(sched.slab_chunks(), 1u);
+  EXPECT_EQ(sched.heap_fallback_events(), 0u);
+  // A callable bigger than the inline budget must take the counted heap
+  // fallback path and still dispatch correctly.
+  struct Big {
+    std::byte pad[200];
+  };
+  Big big{};
+  bool ran = false;
+  sched.schedule_in(20, [big, &ran] {
+    (void)big;
+    ran = true;
+  });
+  EXPECT_EQ(sched.heap_fallback_events(), 1u);
+  sched.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sched.slab_peak_live(), 2u);
+}
+
+}  // namespace
+}  // namespace ndnp::sim
