@@ -38,7 +38,11 @@ void bench_usage(std::FILE* out, const char* argv0) {
                "  --net-loss RATE       Gilbert-Elliott burst loss rate on the upstream\n"
                "                        fetch path, 0..1 (default 0 = clean network)\n"
                "  --net-burst LEN       mean loss-burst length in packets (default 4)\n"
-               "  --net-retry-ms MS     retry penalty per lost fetch (default 80)\n",
+               "  --net-retry-ms MS     retry penalty per lost fetch (default 80)\n"
+               "  --telemetry-out PATH  write the per-run telemetry time series (.prom =\n"
+               "                        Prometheus text exposition, else CSV)\n"
+               "  --sample-every MS     telemetry sampling cadence in sim-time ms\n"
+               "                        (default 10)\n",
                argv0);
 }
 
@@ -49,6 +53,14 @@ runner::SweepTraceCapture* BenchOptions::configure(runner::SweepTraceCapture& ca
   capture.out_path = trace_out;
   capture.filter = trace_filter;
   capture.ring_capacity = trace_capacity;
+  return &capture;
+}
+
+telemetry::SweepTelemetryCapture* BenchOptions::configure_telemetry(
+    telemetry::SweepTelemetryCapture& capture) const {
+  if (telemetry_out.empty()) return nullptr;
+  capture.out_path = telemetry_out;
+  capture.options.sample_every = static_cast<util::SimDuration>(sample_every_ms * 1e6);
   return &capture;
 }
 
@@ -95,6 +107,18 @@ BenchOptions parse_bench_options(int argc, char** argv) {
       options.trace_out = next();
     } else if (std::strcmp(argv[i], "--trace-filter") == 0) {
       options.trace_filter = next();
+    } else if (std::strcmp(argv[i], "--telemetry-out") == 0) {
+      options.telemetry_out = next();
+    } else if (std::strcmp(argv[i], "--sample-every") == 0) {
+      const char* value = next();
+      char* end = nullptr;
+      const double parsed = std::strtod(value, &end);
+      if (end == value || *end != '\0' || parsed <= 0.0) {
+        std::fprintf(stderr, "%s: --sample-every expects a positive number, got '%s'\n",
+                     argv[0], value);
+        std::exit(2);
+      }
+      options.sample_every_ms = parsed;
     } else if (std::strcmp(argv[i], "--log-level") == 0) {
       const char* value = next();
       util::LogLevel level;

@@ -11,6 +11,7 @@
 
 #include "attack/timing_attack.hpp"
 #include "runner/runner.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/fault_model.hpp"
 
 namespace ndnp::bench {
@@ -33,6 +34,11 @@ namespace ndnp::bench {
 ///                         loss on the upstream fetch path (0 = off)
 ///   --net-burst LEN       mean loss-burst length in packets (default 4)
 ///   --net-retry-ms MS     retransmission penalty per lost fetch (default 80)
+///   --telemetry-out PATH  per-run detector/occupancy time series (".prom" =
+///                         Prometheus text exposition, else CSV; multi-run
+///                         sweeps splice ".runN" before the extension)
+///   --sample-every MS     telemetry sampling cadence in sim-time ms
+///                         (default 10)
 /// Capturing never changes bench output — golden vectors stay byte-
 /// identical with tracing on, off, or compiled out.
 struct BenchOptions {
@@ -43,6 +49,8 @@ struct BenchOptions {
   double net_loss = 0.0;
   double net_burst = 4.0;
   double net_retry_ms = 80.0;
+  std::string telemetry_out;
+  double sample_every_ms = 10.0;
 
   /// The --net-* flags as a chain config (disabled when --net-loss is 0).
   [[nodiscard]] util::GilbertElliottConfig upstream_loss() const noexcept {
@@ -59,6 +67,12 @@ struct BenchOptions {
   /// Fill `capture` from these options and return &capture, or nullptr
   /// when no tracing flag was given (assign the result to config.capture).
   runner::SweepTraceCapture* configure(runner::SweepTraceCapture& capture) const;
+
+  /// Fill `capture` from the --telemetry-out/--sample-every flags and
+  /// return &capture, or nullptr when telemetry was not requested (assign
+  /// the result to config.telemetry on benches that support it).
+  telemetry::SweepTelemetryCapture* configure_telemetry(
+      telemetry::SweepTelemetryCapture& capture) const;
 };
 
 /// Parse the shared flags above; exits with usage on unknown arguments

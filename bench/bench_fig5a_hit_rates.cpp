@@ -30,6 +30,8 @@ int main(int argc, char** argv) {
   config.upstream_retry_penalty = options.upstream_retry_penalty();
   runner::SweepTraceCapture capture;
   config.capture = options.configure(capture);
+  telemetry::SweepTelemetryCapture telemetry_capture;
+  config.telemetry = options.configure_telemetry(telemetry_capture);
 
   runner::Fig5aResult result;
   try {

@@ -25,6 +25,8 @@ int main(int argc, char** argv) {
   config.jobs = options.jobs;
   runner::SweepTraceCapture capture;
   config.capture = options.configure(capture);
+  telemetry::SweepTelemetryCapture telemetry_capture;
+  config.telemetry = options.configure_telemetry(telemetry_capture);
 
   const runner::Fig5bResult result = runner::run_fig5b(config);
   std::printf("trace: %zu requests; k=%lld eps=%.3f -> alpha=%.6f K=%lld; eviction: LRU\n\n",

@@ -11,6 +11,7 @@
 // baseline numbers (see EXPERIMENTS.md, "Micro-op hot-path baseline").
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -220,6 +221,36 @@ void BM_ForwarderRoundTrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ForwarderRoundTrip);
+
+// Armed variant: same round trip with a TelemetryHub folding every lookup
+// into the detector banks. The delta against BM_ForwarderRoundTrip is the
+// per-packet telemetry cost (BENCH_telemetry.json pins it under 5%).
+void BM_ForwarderRoundTripTelemetry(benchmark::State& state) {
+  sim::Scheduler sched;
+  sim::Consumer consumer(sched, "C", 1);
+  sim::ForwarderConfig fcfg;
+  fcfg.cs_capacity = 4096;
+  sim::Forwarder router(sched, "R", fcfg);
+  telemetry::TelemetryHub hub;
+  router.arm_telemetry(&hub);
+  sim::Producer producer(sched, "P", ndn::Name("/p"), "key", {}, 2);
+  sim::LinkConfig link;
+  link.latency = util::micros(100);
+  connect(consumer, router, link);
+  const auto [rp, pr] = connect(router, producer, link);
+  (void)pr;
+  router.add_route(ndn::Name("/p"), rp);
+
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    bool done = false;
+    consumer.fetch(ndn::Name("/p/obj").append_number(i++),
+                   [&done](const ndn::Data&, util::SimDuration) { done = true; });
+    while (!done && sched.run_one()) {
+    }
+  }
+}
+BENCHMARK(BM_ForwarderRoundTripTelemetry);
 
 // --- Scheduler: wheel vs reference heap -------------------------------------
 // Self-rescheduling ticker workload: a fixed population of outstanding
@@ -473,10 +504,83 @@ void write_hot_path_report(const char* path) {
   out << snap.to_json() << '\n';
 }
 
+// ---------------------------------------------------------------------------
+// Telemetry overhead report (BENCH_telemetry.json).
+//
+// The acceptance criterion for the online telemetry layer is that arming a
+// TelemetryHub on the forwarder costs < 5% of round-trip throughput.
+// Self-timed like the hot-path report: a fixed count of consumer->router->
+// producer round trips over a warm 4096-entry CS (half hits, half misses,
+// so both the hit and miss hooks are on the timed path), telemetry off vs
+// armed, best-of-three interleaved to shed scheduler noise.
+
+double run_forwarder_roundtrips(telemetry::TelemetryHub* hub, std::uint64_t ops) {
+  sim::Scheduler sched;
+  sim::Consumer consumer(sched, "C", 1);
+  sim::ForwarderConfig fcfg;
+  fcfg.cs_capacity = 4096;
+  sim::Forwarder router(sched, "R", fcfg);
+  if (hub != nullptr) router.arm_telemetry(hub);
+  sim::Producer producer(sched, "P", ndn::Name("/p"), "key", {}, 2);
+  sim::LinkConfig link;
+  link.latency = util::micros(100);
+  connect(consumer, router, link);
+  const auto [rp, pr] = connect(router, producer, link);
+  (void)pr;
+  router.add_route(ndn::Name("/p"), rp);
+
+  const auto round_trip = [&](std::uint64_t object) {
+    bool done = false;
+    consumer.fetch(ndn::Name("/p/obj").append_number(object),
+                   [&done](const ndn::Data&, util::SimDuration) { done = true; });
+    while (!done && sched.run_one()) {
+    }
+  };
+  // Warm the CS so the timed region alternates hits (objects re-fetched
+  // from the warm set) with misses (fresh names).
+  for (std::uint64_t i = 0; i < 4096; ++i) round_trip(i);
+  std::uint64_t fresh = 4096;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < ops; ++i)
+    round_trip((i & 1) == 0 ? i % 4096 : fresh++);
+  const double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return static_cast<double>(ops) / secs / 1e6;
+}
+
+void write_telemetry_report(const char* path) {
+  constexpr std::uint64_t kOps = 120'000;
+  constexpr int kRepeats = 3;
+  double off_mops = 0.0;
+  double on_mops = 0.0;
+  std::uint64_t lookups = 0;
+  for (int r = 0; r < kRepeats; ++r) {
+    off_mops = std::max(off_mops, run_forwarder_roundtrips(nullptr, kOps));
+    telemetry::TelemetryHub hub;
+    on_mops = std::max(on_mops, run_forwarder_roundtrips(&hub, kOps));
+    lookups = hub.lookups();
+  }
+  const double overhead_pct = 100.0 * (off_mops - on_mops) / off_mops;
+
+  util::MetricsRegistry registry;
+  registry.counter("telemetry.roundtrip.ops").inc(kOps);
+  registry.counter("telemetry.roundtrip.lookups_per_run").inc(lookups);
+  util::MetricsSnapshot snap = registry.snapshot();
+  snap.gauges["telemetry.roundtrip.off.mops"] = off_mops;
+  snap.gauges["telemetry.roundtrip.armed.mops"] = on_mops;
+  snap.gauges["telemetry.roundtrip.overhead_pct"] = overhead_pct;
+  snap.gauges["telemetry.compiled_in"] = NDNP_TELEMETRY ? 1.0 : 0.0;
+  std::printf("Forwarder round trip, telemetry off vs armed (also written to %s):\n", path);
+  std::printf("  off %7.3f Mrt/s   armed %7.3f Mrt/s   overhead %.2f%%  (budget < 5%%)\n",
+              off_mops, on_mops, overhead_pct);
+  std::ofstream out(path);
+  out << snap.to_json() << '\n';
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   write_hot_path_report("BENCH_micro_ops.json");
+  write_telemetry_report("BENCH_telemetry.json");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

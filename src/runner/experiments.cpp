@@ -97,6 +97,7 @@ Fig5aResult run_fig5a(const Fig5aConfig& config) {
   SweepOptions options;
   options.jobs = config.jobs;
   options.capture = config.capture;
+  options.telemetry = config.telemetry;
   options.master_seed = config.replay_seed;
   const std::vector<util::MetricsSnapshot> cells =
       run_sweep<util::MetricsSnapshot>(schemes.size() * num_sizes, options,
@@ -110,6 +111,8 @@ Fig5aResult run_fig5a(const Fig5aConfig& config) {
         replay_config.upstream_loss = config.upstream_loss;
         replay_config.upstream_retry_penalty = config.upstream_retry_penalty;
         replay_config.seed = config.replay_seed;
+        if (config.telemetry != nullptr)
+          replay_config.telemetry = config.telemetry->run_hub(ctx.run_index);
         return replay_with_metrics(tr, replay_config);
       });
 
@@ -185,6 +188,7 @@ Fig5bResult run_fig5b(const Fig5bConfig& config) {
   SweepOptions options;
   options.jobs = config.jobs;
   options.capture = config.capture;
+  options.telemetry = config.telemetry;
   options.master_seed = config.replay_seed;
   const core::ExpoParams params = *expo;
   const std::vector<util::MetricsSnapshot> cells =
@@ -200,6 +204,8 @@ Fig5bResult run_fig5b(const Fig5bConfig& config) {
           return core::RandomCachePolicy::exponential(params.alpha, params.domain, 5);
         };
         replay_config.seed = config.replay_seed;
+        if (config.telemetry != nullptr)
+          replay_config.telemetry = config.telemetry->run_hub(ctx.run_index);
         return replay_with_metrics(tr, replay_config);
       });
 

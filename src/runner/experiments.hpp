@@ -53,6 +53,10 @@ struct Fig5aConfig {
   std::size_t jobs = 1;
   /// Optional per-cell flight-recorder capture (not owned).
   SweepTraceCapture* capture = nullptr;
+  /// Optional per-cell telemetry capture (not owned): every grid cell
+  /// replays with its own TelemetryHub and the detector/occupancy time
+  /// series are exported after the sweep (--telemetry-out).
+  telemetry::SweepTelemetryCapture* telemetry = nullptr;
 };
 
 struct Fig5aResult {
@@ -104,6 +108,8 @@ struct Fig5bConfig {
   std::size_t jobs = 1;
   /// Optional per-cell flight-recorder capture (not owned).
   SweepTraceCapture* capture = nullptr;
+  /// Optional per-cell telemetry capture (not owned); see Fig5aConfig.
+  telemetry::SweepTelemetryCapture* telemetry = nullptr;
 };
 
 struct Fig5bResult {

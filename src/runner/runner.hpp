@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/telemetry.hpp"
 #include "util/metrics.hpp"
 #include "util/tracing.hpp"
 
@@ -89,6 +90,12 @@ struct SweepOptions {
   /// When set, every run records into its own tracer and captures are
   /// exported after the sweep. Not owned; must outlive the sweep call.
   SweepTraceCapture* capture = nullptr;
+  /// When set, every run samples into its own telemetry hub and the time
+  /// series are exported after the sweep (--telemetry-out plumbing). Same
+  /// ownership and determinism contract as `capture`: per-run hubs mean
+  /// the exported series are byte-identical for any --jobs value. The run
+  /// function wires its run's hub via `telemetry->run_hub(ctx.run_index)`.
+  telemetry::SweepTelemetryCapture* telemetry = nullptr;
 };
 
 /// Clamp a user-supplied --jobs value: 0 -> hardware_concurrency.
@@ -111,6 +118,7 @@ template <typename R, typename Fn>
 std::vector<R> run_sweep(std::size_t num_runs, const SweepOptions& options, Fn&& fn) {
   std::vector<R> results(num_runs);
   if (options.capture != nullptr) options.capture->prepare(num_runs);
+  if (options.telemetry != nullptr) options.telemetry->prepare(num_runs);
   detail::parallel_for(num_runs, options.jobs, [&](std::size_t i) {
     RunContext ctx;
     ctx.run_index = i;
@@ -128,6 +136,7 @@ std::vector<R> run_sweep(std::size_t num_runs, const SweepOptions& options, Fn&&
     }
   });
   if (options.capture != nullptr) options.capture->write_files();
+  if (options.telemetry != nullptr) options.telemetry->write_files();
   return results;
 }
 

@@ -28,6 +28,20 @@ std::string_view to_string(ForwardingStrategy strategy) noexcept {
   return "?";
 }
 
+void Forwarder::arm_telemetry(telemetry::TelemetryHub* hub) {
+  telemetry_ = hub;
+  if (hub == nullptr) return;
+  // Occupancy gauges ride along with the built-in detector series. Probes
+  // read live state at sample time; registration must precede the first
+  // sample (the recorder freezes its column set there).
+  hub->add_probe("cs.size", [this] { return static_cast<double>(cs_.size()); });
+  hub->add_probe("pit.size", [this] { return static_cast<double>(pit_.size()); });
+  hub->add_probe("forwarder.interests_received",
+                 [this] { return static_cast<double>(stats_.interests_received); });
+  hub->add_probe("forwarder.forwarded_interests",
+                 [this] { return static_cast<double>(stats_.forwarded_interests); });
+}
+
 void Forwarder::add_route(const ndn::Name& prefix, FaceId next_hop) {
   auto& next_hops = fib_[prefix].next_hops;
   if (std::find(next_hops.begin(), next_hops.end(), next_hop) == next_hops.end())
@@ -75,8 +89,35 @@ bool Forwarder::pit_erase(std::uint64_t name_hash, const ndn::Name& name) noexce
 
 void Forwarder::handle_interest(const ndn::Interest& interest, FaceId in_face) {
   NDNP_TRACE_SCOPE(name().c_str(), "forwarder", "handle_interest");
-  // One hash per packet: every PIT probe below reuses it.
-  const std::uint64_t name_hash = interest.name.hash64();
+  // One hash per packet: every PIT probe below reuses it. With telemetry
+  // armed, one visit_prefix_hashes pass yields the depth-2 prefix-bucket
+  // hash alongside the full hash at the same cost (FNV-1a is
+  // prefix-incremental), so the hot path never hashes the name twice.
+  std::uint64_t name_hash = 0;
+  std::uint64_t prefix_bucket_hash = 0;
+#if NDNP_TELEMETRY
+  if (telemetry_ != nullptr) {
+    std::size_t depth = 0;
+    std::uint64_t depth2 = 0;
+    interest.name.visit_prefix_hashes([&](std::uint64_t h) {
+      if (depth == 2) depth2 = h;
+      name_hash = h;
+      ++depth;
+    });
+    prefix_bucket_hash = depth > 2 ? depth2 : name_hash;
+  } else {
+    name_hash = interest.name.hash64();
+  }
+  const auto telemetry_note = [&](telemetry::LookupOutcome outcome) {
+    if (telemetry_ != nullptr)
+      telemetry_->on_lookup(static_cast<std::uint64_t>(in_face), prefix_bucket_hash, outcome,
+                            now());
+  };
+#else
+  name_hash = interest.name.hash64();
+  (void)prefix_bucket_hash;
+  const auto telemetry_note = [](telemetry::LookupOutcome) {};
+#endif
 
   // Loop suppression: a nonce already recorded for this name means the
   // interest circled back.
@@ -98,10 +139,12 @@ void Forwarder::handle_interest(const ndn::Interest& interest, FaceId in_face) {
     switch (decision.action) {
       case core::LookupAction::kExposeHit:
         ++stats_.exposed_hits;
+        telemetry_note(telemetry::LookupOutcome::kExposedHit);
         send_data(in_face, entry->data);
         return;
       case core::LookupAction::kDelayedHit: {
         ++stats_.delayed_hits;
+        telemetry_note(telemetry::LookupOutcome::kDelayedHit);
         // Pooled copy: the CS entry may be evicted before the delay fires.
         const util::PoolRef<ndn::Data> held = pooled_copy(entry->data);
         scheduler().schedule_in(decision.artificial_delay,
@@ -110,10 +153,12 @@ void Forwarder::handle_interest(const ndn::Interest& interest, FaceId in_face) {
       }
       case core::LookupAction::kSimulatedMiss:
         ++stats_.simulated_misses;
+        telemetry_note(telemetry::LookupOutcome::kSimulatedMiss);
         break;  // fall through to the miss path below
     }
   } else {
     ++stats_.true_misses;
+    telemetry_note(telemetry::LookupOutcome::kTrueMiss);
   }
 
   // 2. PIT: collapse onto an existing pending interest for the same name.
@@ -412,6 +457,7 @@ void Forwarder::export_metrics(util::MetricsRegistry& registry,
   cs_.export_metrics(registry, prefix + ".cs");
   policy_->export_metrics(registry, prefix + ".policy");
   export_fault_metrics(registry, prefix);
+  if (telemetry_ != nullptr) telemetry_->export_metrics(registry, prefix + ".telemetry");
 }
 
 void Forwarder::check_invariants() const {

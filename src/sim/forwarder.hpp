@@ -25,6 +25,7 @@
 #include "cache/content_store.hpp"
 #include "core/policy.hpp"
 #include "sim/node.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/open_hash.hpp"
 
 namespace ndnp::sim {
@@ -136,6 +137,16 @@ class Forwarder final : public Node {
   /// Adds current totals; call once per snapshot.
   void export_metrics(util::MetricsRegistry& registry, const std::string& prefix) const;
 
+  /// Attach an online telemetry hub (not owned; pass nullptr to detach).
+  /// Registers this forwarder's CS/PIT occupancy gauges as time-series
+  /// probes and, while armed, feeds every interest disposition in
+  /// handle_interest into the hub's detectors. The hub only observes —
+  /// arming never changes forwarding behavior or event order. The hot-path
+  /// hook compiles out entirely under -DNDNP_TELEMETRY=0 (arming still
+  /// registers the probes so recorders keep a stable column set).
+  void arm_telemetry(telemetry::TelemetryHub* hub);
+  [[nodiscard]] telemetry::TelemetryHub* telemetry() const noexcept { return telemetry_; }
+
  private:
   struct Downstream {
     FaceId face = 0;
@@ -178,6 +189,7 @@ class Forwarder final : public Node {
                             std::uint64_t version, util::SimDuration lifetime);
 
   ForwarderConfig config_;
+  telemetry::TelemetryHub* telemetry_ = nullptr;
   cache::ContentStore cs_;
   std::unique_ptr<core::CachePrivacyPolicy> policy_;
   util::OpenHashTable<PitEntry> pit_;

@@ -514,4 +514,114 @@ std::string ForensicsReport::format_table() const {
   return out.str();
 }
 
+TelemetryScorecard telemetry_scorecard(const std::vector<FlatEvent>& events,
+                                       util::SimDuration width) {
+  if (width <= 0)
+    throw std::invalid_argument("telemetry_scorecard: window width must be positive");
+
+  TelemetryScorecard card;
+  card.window = width;
+  const std::size_t kinds = telemetry::kDetectorKinds;
+  card.detectors.resize(kinds + 1);
+  for (std::size_t k = 0; k < kinds; ++k)
+    card.detectors[k].detector =
+        std::string(telemetry::to_string(static_cast<telemetry::DetectorKind>(k)));
+  card.detectors[kinds].detector = "any";
+  if (events.empty()) return card;
+
+  util::SimTime t_max = 0;
+  for (const FlatEvent& ev : events) t_max = std::max(t_max, ev.t);
+  card.total_windows = static_cast<std::size_t>(t_max / width) + 1;
+  const auto window_of = [width](util::SimTime t) {
+    return static_cast<std::size_t>(t / width);
+  };
+
+  // Pass 1: window occupancy. attack[w] = probe activity; alarmed[k][w] per
+  // detector, slot `kinds` = any detector.
+  std::vector<char> attack(card.total_windows, 0);
+  std::vector<std::vector<char>> alarmed(kinds + 1,
+                                         std::vector<char>(card.total_windows, 0));
+  util::SimTime first_probe = util::kTimeUnset;
+  std::vector<util::SimTime> first_alarm_after(kinds + 1, util::kTimeUnset);
+  for (const FlatEvent& ev : events) {
+    if (ev.type == "attack_probe") {
+      ++card.probes;
+      attack[window_of(ev.t)] = 1;
+      if (first_probe == util::kTimeUnset) first_probe = ev.t;
+    }
+  }
+  for (const FlatEvent& ev : events) {
+    if (ev.type != "telemetry_alarm") continue;
+    ++card.alarms;
+    const std::string name = detail_field(ev.detail, "detector");
+    std::size_t kind = kinds;  // unknown detector names only count as "any"
+    for (std::size_t k = 0; k < kinds; ++k)
+      if (name == card.detectors[k].detector) kind = k;
+    const std::size_t w = window_of(ev.t);
+    if (kind < kinds) {
+      ++card.detectors[kind].alarms;
+      alarmed[kind][w] = 1;
+      if (first_probe != util::kTimeUnset && ev.t >= first_probe &&
+          first_alarm_after[kind] == util::kTimeUnset)
+        first_alarm_after[kind] = ev.t;
+    }
+    ++card.detectors[kinds].alarms;
+    alarmed[kinds][w] = 1;
+    if (first_probe != util::kTimeUnset && ev.t >= first_probe &&
+        first_alarm_after[kinds] == util::kTimeUnset)
+      first_alarm_after[kinds] = ev.t;
+  }
+
+  for (std::size_t w = 0; w < card.total_windows; ++w)
+    if (attack[w]) ++card.attack_windows;
+
+  // Pass 2: per-detector precision/recall over windows.
+  for (std::size_t k = 0; k <= kinds; ++k) {
+    DetectorScore& score = card.detectors[k];
+    for (std::size_t w = 0; w < card.total_windows; ++w) {
+      if (!alarmed[k][w]) continue;
+      ++score.alarmed_windows;
+      if (attack[w])
+        ++score.true_positive_windows;
+      else
+        ++score.false_positive_windows;
+    }
+    score.precision = score.alarmed_windows == 0
+                          ? 1.0
+                          : static_cast<double>(score.true_positive_windows) /
+                                static_cast<double>(score.alarmed_windows);
+    score.recall = card.attack_windows == 0
+                       ? 0.0
+                       : static_cast<double>(score.true_positive_windows) /
+                             static_cast<double>(card.attack_windows);
+    if (first_alarm_after[k] != util::kTimeUnset)
+      score.detection_latency_ms = util::to_millis(first_alarm_after[k] - first_probe);
+  }
+  return card;
+}
+
+std::string TelemetryScorecard::format_table() const {
+  std::ostringstream out;
+  out << "detector            alarms  windows  tp      fp      precision  recall  latency_ms\n";
+  char row[200];
+  for (const DetectorScore& score : detectors) {
+    std::snprintf(row, sizeof row, "%-19s %-7zu %-8zu %-7zu %-7zu %-10.4f %-7.4f ",
+                  score.detector.c_str(), score.alarms, score.alarmed_windows,
+                  score.true_positive_windows, score.false_positive_windows, score.precision,
+                  score.recall);
+    out << row;
+    if (score.detection_latency_ms < 0.0)
+      out << "-\n";
+    else {
+      std::snprintf(row, sizeof row, "%.3f\n", score.detection_latency_ms);
+      out << row;
+    }
+  }
+  std::snprintf(row, sizeof row,
+                "windows=%zu attack_windows=%zu probes=%zu alarms=%zu window_ms=%.3f\n",
+                total_windows, attack_windows, probes, alarms, util::to_millis(window));
+  out << row;
+  return out.str();
+}
+
 }  // namespace ndnp::sim

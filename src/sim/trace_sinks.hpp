@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/detectors.hpp"
 #include "util/sim_time.hpp"
 #include "util/tracing.hpp"
 
@@ -128,5 +129,47 @@ struct ForensicsReport {
 /// distinguishes exposed, delayed and simulated outcomes. `events` must be
 /// in recording order (which is chronological for a single run).
 [[nodiscard]] ForensicsReport probe_forensics(const std::vector<FlatEvent>& events);
+
+// ---------------------------------------------------------------------------
+// Telemetry scorecard: detector alarms vs attack ground truth.
+
+/// Per-detector verdict of the fixed-window join (see telemetry_scorecard).
+struct DetectorScore {
+  std::string detector;               // "hit_rate_shift", ..., or "any"
+  std::size_t alarms = 0;             // raw telemetry_alarm events
+  std::size_t alarmed_windows = 0;
+  std::size_t true_positive_windows = 0;   // alarmed AND attack-active
+  std::size_t false_positive_windows = 0;  // alarmed, no attack activity
+  double precision = 0.0;  // TP windows / alarmed windows (1 when none alarmed)
+  double recall = 0.0;     // TP windows / attack windows (0 when no attack)
+  /// First alarm at-or-after the first attack probe minus that probe's
+  /// time; negative when the detector never fired during the attack.
+  double detection_latency_ms = -1.0;
+};
+
+struct TelemetryScorecard {
+  util::SimDuration window = 0;
+  std::size_t total_windows = 0;
+  std::size_t attack_windows = 0;  // windows containing >= 1 attack_probe
+  std::size_t probes = 0;          // attack_probe events
+  std::size_t alarms = 0;          // telemetry_alarm events
+  /// One row per telemetry::DetectorKind plus a final "any" row combining
+  /// every detector (the headline recall the CI gate checks).
+  std::vector<DetectorScore> detectors;
+
+  /// The "any" row (always present; zeroed scores when `events` was empty).
+  [[nodiscard]] const DetectorScore& any() const { return detectors.back(); }
+  /// Human-readable per-detector table plus a summary line.
+  [[nodiscard]] std::string format_table() const;
+};
+
+/// Score a capture's telemetry_alarm stream against its attack_probe ground
+/// truth by fixed-window join: the span [0, t_max] is cut into windows of
+/// `width`; a window is attack-active when it contains a probe, and a
+/// detector credits it when it raised an alarm inside it. Precision, recall
+/// and detection latency per detector (plus "any") follow. Deterministic
+/// given the event stream; `width` must be positive.
+[[nodiscard]] TelemetryScorecard telemetry_scorecard(const std::vector<FlatEvent>& events,
+                                                     util::SimDuration width);
 
 }  // namespace ndnp::sim

@@ -65,6 +65,37 @@ void ReplaySession::feed(const TraceRecord& record) {
 
   const auto now = static_cast<util::SimTime>(record.timestamp_s * 1e9);
   const core::RequestOutcome outcome = engine_.handle(interest, now, fetch_);
+#if NDNP_TELEMETRY
+  if (config_.telemetry != nullptr) {
+    // Face scope = trace user, prefix scope = depth-2 name prefix (trace
+    // names are /web/dom<d>/obj<j>, so depth 2 is the domain).
+    std::uint64_t prefix_hash = 0;
+    std::uint64_t last = 0;
+    std::size_t depth = 0;
+    record.name.visit_prefix_hashes([&](std::uint64_t h) {
+      if (depth == 2) prefix_hash = h;
+      last = h;
+      ++depth;
+    });
+    if (depth <= 2) prefix_hash = last;
+    telemetry::LookupOutcome lookup = telemetry::LookupOutcome::kTrueMiss;
+    switch (outcome.kind) {
+      case core::RequestOutcome::Kind::kExposedHit:
+        lookup = telemetry::LookupOutcome::kExposedHit;
+        break;
+      case core::RequestOutcome::Kind::kDelayedHit:
+        lookup = telemetry::LookupOutcome::kDelayedHit;
+        break;
+      case core::RequestOutcome::Kind::kSimulatedMiss:
+        lookup = telemetry::LookupOutcome::kSimulatedMiss;
+        break;
+      case core::RequestOutcome::Kind::kTrueMiss:
+        lookup = telemetry::LookupOutcome::kTrueMiss;
+        break;
+    }
+    config_.telemetry->on_lookup(record.user_id, prefix_hash, lookup, now);
+  }
+#endif
   NDNP_TRACE_EVENT(util::TraceEventType::kReplayRequest, "replayer", now,
                    record.name.to_uri(),
                    std::string("outcome=") + std::string(to_string(outcome.kind)) +
@@ -78,7 +109,11 @@ ReplayResult ReplaySession::finish() {
   result_.stats = engine_.stats();
   result_.mean_response_ms =
       fed_ == 0 ? 0.0 : total_response_ms_ / static_cast<double>(fed_);
-  if (config_.metrics) engine_.export_metrics(*config_.metrics, "engine");
+  if (config_.metrics) {
+    engine_.export_metrics(*config_.metrics, "engine");
+    if (config_.telemetry != nullptr)
+      config_.telemetry->export_metrics(*config_.metrics, "telemetry");
+  }
   return result_;
 }
 

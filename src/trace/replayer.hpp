@@ -15,6 +15,7 @@
 
 #include "cache/content_store.hpp"
 #include "core/engine.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/trace.hpp"
 #include "util/fault_model.hpp"
 #include "util/metrics.hpp"
@@ -51,6 +52,14 @@ struct ReplayConfig {
   /// Optional: when set, the engine/cs/policy counters are exported into
   /// this registry (prefix "engine") after the replay completes.
   util::MetricsRegistry* metrics = nullptr;
+  /// Optional online telemetry hub (not owned). Every fed request lands in
+  /// the hub's detectors — keyed by trace user_id (face scope) and depth-2
+  /// name prefix (prefix scope) — and paces the hub's time series; finish()
+  /// exports the hub's counters under "telemetry" when `metrics` is also
+  /// set. The hub only observes: cache state, stats and golden vectors are
+  /// identical with telemetry on, off, or compiled out (-DNDNP_TELEMETRY=0
+  /// makes the hook vanish).
+  telemetry::TelemetryHub* telemetry = nullptr;
 };
 
 struct ReplayResult {

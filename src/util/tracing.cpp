@@ -35,6 +35,7 @@ std::string_view to_string(TraceEventType type) noexcept {
     case TraceEventType::kAttackProbe: return "attack_probe";
     case TraceEventType::kReplayRequest: return "replay_request";
     case TraceEventType::kFaultInject: return "fault_inject";
+    case TraceEventType::kTelemetryAlarm: return "telemetry_alarm";
     case TraceEventType::kSpan: return "span";
     case TraceEventType::kMark: return "mark";
   }
@@ -70,6 +71,8 @@ std::string_view default_component(TraceEventType type) noexcept {
       return "replay";
     case TraceEventType::kFaultInject:
       return "fault";
+    case TraceEventType::kTelemetryAlarm:
+      return "telemetry";
     case TraceEventType::kSpan:
       return "profile";
     case TraceEventType::kMark:

@@ -70,6 +70,8 @@ enum class TraceEventType : std::uint8_t {
   kAttackProbe,     // a = measured RTT ns, b = probe round; detail: truth=hit|miss
   kReplayRequest,   // one replayed trace request; detail: outcome=...
   kFaultInject,     // injected fault fired; detail: cause=... (see sim/faults.hpp)
+  kTelemetryAlarm,  // streaming detector fired; detail: detector=... scope=...
+                    // bucket=<n> stat=<v> (see telemetry/detectors.hpp)
   kSpan,            // profiling span (a = wall-clock duration ns)
   kMark,            // free-form instant event
 };

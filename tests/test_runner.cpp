@@ -1,6 +1,6 @@
 // Deterministic parallel sweep runner: seed derivation, jobs-independence
 // of merged results, golden vectors for the ported Figure 5(a) bench, and
-// the determinism guard over src/sim + src/trace.
+// the determinism guard over src/sim + src/trace + src/telemetry.
 #include "runner/runner.hpp"
 
 #include <gtest/gtest.h>
@@ -170,7 +170,8 @@ TEST(RunnerJobsInvariance, Fig4aAndTheoryByteIdenticalAcrossJobs) {
 // ---------------------------------------------------------------------------
 // Determinism guard: simulation results must never depend on wall clock,
 // libc rand, or unordered-container iteration order. This scan fails if
-// such a dependency is (re)introduced in src/sim or src/trace.
+// such a dependency is (re)introduced in src/sim, src/trace or
+// src/telemetry.
 
 TEST(DeterminismGuard, SimAndTraceSourcesAvoidNondeterministicPrimitives) {
   const std::vector<std::string> banned = {
@@ -178,7 +179,7 @@ TEST(DeterminismGuard, SimAndTraceSourcesAvoidNondeterministicPrimitives) {
       "std::random_device",
   };
   std::vector<std::filesystem::path> files;
-  for (const char* dir : {"src/sim", "src/trace"}) {
+  for (const char* dir : {"src/sim", "src/trace", "src/telemetry"}) {
     const std::filesystem::path root = std::filesystem::path(NDNP_SOURCE_ROOT) / dir;
     ASSERT_TRUE(std::filesystem::is_directory(root)) << root;
     for (const auto& entry : std::filesystem::directory_iterator(root)) {

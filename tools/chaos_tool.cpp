@@ -2,6 +2,7 @@
 //
 //   chaos_tool [--mode both|chaos|diff] [--episodes N] [--seed S]
 //              [--interests N] [--ops N] [--jobs J] [--verbose]
+//              [--metrics-out PATH]
 //
 // "chaos" episodes exercise a random faulty topology end to end and audit
 // the structural invariants; "diff" episodes cross-check a single Forwarder
@@ -14,18 +15,24 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "runner/runner.hpp"
 #include "sim/chaos.hpp"
+#include "util/metrics.hpp"
 
 namespace {
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--mode both|chaos|diff] [--episodes N] [--seed S]\n"
-               "          [--interests N] [--ops N] [--jobs J] [--verbose]\n",
+               "          [--interests N] [--ops N] [--jobs J] [--verbose]\n"
+               "          [--metrics-out PATH]\n"
+               "\n"
+               "  --metrics-out PATH  write the aggregate episode counters as\n"
+               "                      canonical metrics JSON to PATH\n",
                argv0);
 }
 
@@ -41,6 +48,7 @@ int main(int argc, char** argv) {
   std::size_t ops = 1500;
   std::size_t jobs = 1;
   bool verbose = false;
+  std::string metrics_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -65,6 +73,8 @@ int main(int argc, char** argv) {
       jobs = static_cast<std::size_t>(std::atoll(next()));
     else if (arg == "--verbose")
       verbose = true;
+    else if (arg == "--metrics-out")
+      metrics_out = next();
     else {
       usage(argv[0]);
       return 2;
@@ -80,6 +90,7 @@ int main(int argc, char** argv) {
   sweep.master_seed = master_seed;
 
   int failures = 0;
+  util::MetricsRegistry metrics;
 
   if (mode == "both" || mode == "chaos") {
     const std::vector<sim::ChaosEpisodeResult> results =
@@ -121,6 +132,10 @@ int main(int argc, char** argv) {
                 results.size(), static_cast<unsigned long long>(faults_total),
                 static_cast<unsigned long long>(violations),
                 static_cast<unsigned long long>(digest_chain));
+    metrics.counter("chaos.episodes").inc(results.size());
+    metrics.counter("chaos.faults_injected").inc(faults_total);
+    metrics.counter("chaos.invariant_violations").inc(violations);
+    metrics.counter("chaos.digest_chain").inc(digest_chain);
   }
 
   if (mode == "both" || mode == "diff") {
@@ -142,6 +157,18 @@ int main(int argc, char** argv) {
     }
     std::printf("diff: %zu episodes, %zu ops, %s\n", results.size(), total_ops,
                 failures == 0 ? "no divergence" : "DIVERGED");
+    metrics.counter("diff.episodes").inc(results.size());
+    metrics.counter("diff.ops").inc(total_ops);
+  }
+
+  if (!metrics_out.empty()) {
+    metrics.counter("failures").inc(static_cast<std::uint64_t>(failures));
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open %s\n", metrics_out.c_str());
+      return 2;
+    }
+    out << metrics.snapshot().to_json() << '\n';
   }
 
   return failures == 0 ? 0 : 1;

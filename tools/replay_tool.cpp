@@ -72,6 +72,15 @@ void usage(const char* argv0) {
       "                        Chrome trace-event JSON for Perfetto\n"
       "  --trace-filter PREFIX capture only events whose content name starts\n"
       "                        with PREFIX\n"
+      "  --telemetry-out PATH  sample the online telemetry time series per\n"
+      "                        replay (detector statistics, occupancy gauges);\n"
+      "                        a .prom suffix selects Prometheus text\n"
+      "                        exposition, anything else CSV (in-memory path\n"
+      "                        only; ignored with --shards)\n"
+      "  --sample-every MS     telemetry sampling cadence in sim-time\n"
+      "                        milliseconds (default 10)\n"
+      "  --metrics-out PATH    write the final merged metrics JSON to PATH in\n"
+      "                        addition to the normal stdout report\n"
       "  --log-level L         stderr logging threshold (default: warn)\n",
       argv0);
 }
@@ -93,6 +102,9 @@ int main(int argc, char** argv) {
   std::uint64_t max_malformed = 0;
   bool emit_json = false;
   runner::SweepTraceCapture capture;
+  telemetry::SweepTelemetryCapture telemetry_capture;
+  double sample_every_ms = 10.0;
+  std::string metrics_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -157,6 +169,12 @@ int main(int argc, char** argv) {
       capture.out_path = next();
     else if (arg == "--trace-filter")
       capture.filter = next();
+    else if (arg == "--telemetry-out")
+      telemetry_capture.out_path = next();
+    else if (arg == "--sample-every")
+      sample_every_ms = std::atof(next());
+    else if (arg == "--metrics-out")
+      metrics_out = next();
     else if (arg == "--log-level") {
       const char* value = next();
       util::LogLevel level;
@@ -243,6 +261,8 @@ int main(int argc, char** argv) {
   }
 
   if (shards > 0) {
+    if (!telemetry_capture.out_path.empty())
+      std::fprintf(stderr, "warning: --telemetry-out is ignored with --shards\n");
     // Streaming sharded replay, one trace at a time (each already fans its
     // shards across --jobs threads).
     runner::ShardedReplayConfig sharded;
@@ -262,6 +282,23 @@ int main(int argc, char** argv) {
       } catch (const std::exception& error) {
         std::fprintf(stderr, "%s: %s\n", path.c_str(), error.what());
         return 1;
+      }
+      if (!metrics_out.empty()) {
+        // One file per trace (".runN" spliced in when replaying several).
+        std::string out_path = metrics_out;
+        if (trace_paths.size() > 1) {
+          const std::size_t dot = out_path.find_last_of('.');
+          const std::string tag = ".run" + std::to_string(t);
+          out_path = dot == std::string::npos ? out_path + tag
+                                              : out_path.substr(0, dot) + tag +
+                                                    out_path.substr(dot);
+        }
+        std::ofstream out(out_path);
+        out << result.merged_json() << '\n';
+        if (!out) {
+          std::fprintf(stderr, "%s: cannot write %s\n", argv[0], out_path.c_str());
+          return 1;
+        }
       }
       if (emit_json) {
         std::printf("%s\n", result.merged_json().c_str());
@@ -304,11 +341,22 @@ int main(int argc, char** argv) {
   options.jobs = jobs;
   options.master_seed = config.seed;
   if (!capture.out_path.empty() || !capture.filter.empty()) options.capture = &capture;
+  if (!telemetry_capture.out_path.empty()) {
+    if (sample_every_ms <= 0.0) {
+      std::fprintf(stderr, "%s: --sample-every must be positive\n", argv[0]);
+      return 2;
+    }
+    telemetry_capture.options.sample_every =
+        static_cast<util::SimDuration>(sample_every_ms * 1e6);
+    options.telemetry = &telemetry_capture;
+  }
   const std::vector<TraceRunResult> results = runner::run_sweep<TraceRunResult>(
       traces.size(), options, [&](const runner::RunContext& ctx) {
         util::MetricsRegistry registry;
         trace::ReplayConfig run_config = config;
         run_config.metrics = &registry;
+        if (options.telemetry != nullptr)
+          run_config.telemetry = options.telemetry->run_hub(ctx.run_index);
         TraceRunResult out;
         out.replay = trace::replay(traces[ctx.run_index], run_config);
         out.metrics = registry.snapshot();
@@ -320,10 +368,18 @@ int main(int argc, char** argv) {
         return out;
       });
 
+  runner::SweepResult sweep;
+  for (const TraceRunResult& r : results) sweep.runs.push_back(r.metrics);
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    out << sweep.merged_json() << '\n';
+    if (!out) {
+      std::fprintf(stderr, "%s: cannot write %s\n", argv[0], metrics_out.c_str());
+      return 1;
+    }
+  }
   if (emit_json) {
     // Pure JSON on stdout so the output pipes straight into a parser.
-    runner::SweepResult sweep;
-    for (const TraceRunResult& r : results) sweep.runs.push_back(r.metrics);
     std::printf("%s\n", sweep.merged_json().c_str());
     return 0;
   }

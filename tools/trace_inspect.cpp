@@ -54,13 +54,23 @@ void print_summary(const std::string& path, const std::vector<ndnp::sim::FlatEve
     if (i == 0 || ev.t < t_min) t_min = ev.t;
     if (i == 0 || ev.t > t_max) t_max = ev.t;
   }
+  // Rates use the capture's own span; a single-event (or empty) capture has
+  // no span, so the rate column is suppressed rather than divided by zero.
+  const double span_s = events.empty() ? 0.0 : static_cast<double>(t_max - t_min) / 1e9;
   std::printf("%s: %zu events", path.c_str(), events.size());
-  if (!events.empty())
+  if (!events.empty()) {
     std::printf(", t=[%.3f ms, %.3f ms]", static_cast<double>(t_min) / 1e6,
                 static_cast<double>(t_max) / 1e6);
+    if (span_s > 0.0)
+      std::printf(", %.1f events/sec", static_cast<double>(events.size()) / span_s);
+  }
   std::printf("\n");
   std::printf("  by type:\n");
-  for (const auto& [type, n] : by_type) std::printf("    %-18s %zu\n", type.c_str(), n);
+  for (const auto& [type, n] : by_type) {
+    std::printf("    %-18s %zu", type.c_str(), n);
+    if (span_s > 0.0) std::printf("  (%.1f/sec)", static_cast<double>(n) / span_s);
+    std::printf("\n");
+  }
   std::printf("  by node:\n");
   for (const auto& [node, n] : by_node) std::printf("    %-18s %zu\n", node.c_str(), n);
   std::printf("  by component:\n");
