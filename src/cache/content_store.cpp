@@ -308,14 +308,14 @@ void ContentStore::lfu_detach(Node* node) noexcept {
     else
       freq_head_ = bucket->next;
     if (bucket->next) bucket->next->prev = bucket->prev;
-    delete bucket;
+    freq_bucket_slab_.destroy(bucket);
   }
 }
 
 void ContentStore::lfu_free_all() noexcept {
   for (FreqBucket* bucket = freq_head_; bucket != nullptr;) {
     FreqBucket* next = bucket->next;
-    delete bucket;
+    freq_bucket_slab_.destroy(bucket);
     bucket = next;
   }
   freq_head_ = nullptr;
@@ -330,7 +330,8 @@ void ContentStore::index_insert(Node* node) {
     case EvictionPolicy::kLfu: {
       node->freq = 1;
       if (!freq_head_ || freq_head_->freq != 1) {
-        auto* bucket = new FreqBucket{.freq = 1, .next = freq_head_};
+        FreqBucket* bucket =
+            freq_bucket_slab_.create(FreqBucket{.freq = 1, .next = freq_head_});
         if (freq_head_) freq_head_->prev = bucket;
         freq_head_ = bucket;
       }
@@ -359,7 +360,8 @@ void ContentStore::index_access(Node* node) {
       // delete `bucket` if the node was its only member).
       FreqBucket* next = bucket->next;
       if (!next || next->freq != target) {
-        next = new FreqBucket{.freq = target, .prev = bucket, .next = bucket->next};
+        next = freq_bucket_slab_.create(
+            FreqBucket{.freq = target, .prev = bucket, .next = bucket->next});
         if (bucket->next) bucket->next->prev = next;
         bucket->next = next;
       }

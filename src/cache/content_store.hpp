@@ -44,6 +44,7 @@
 #include "util/open_hash.hpp"
 #include "util/rng.hpp"
 #include "util/sim_time.hpp"
+#include "util/slab.hpp"
 
 namespace ndnp::cache {
 
@@ -267,6 +268,10 @@ class ContentStore {
   Node* order_head_ = nullptr;  // LRU/FIFO: front = MRU / newest
   Node* order_tail_ = nullptr;  // LRU tail = least recent; FIFO tail = oldest
   FreqBucket* freq_head_ = nullptr;  // LFU: lowest frequency bucket
+  /// LFU bucket arena: every frequency promotion creates the freq+1 bucket
+  /// and retires the emptied one, so buckets must recycle through a slab
+  /// free list or every LFU cache hit pays the allocator.
+  util::Slab<FreqBucket> freq_bucket_slab_;
   CacheStats stats_;
   std::string trace_label_ = "cs";
 };

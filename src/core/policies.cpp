@@ -97,6 +97,7 @@ util::SimDuration AlwaysDelayPolicy::miss_response_delay(util::SimDuration fetch
 }
 
 std::unique_ptr<CachePrivacyPolicy> AlwaysDelayPolicy::clone() const {
+  // NDNP-LINT-ALLOW(alloc-naked-new): private copy ctor — make_unique cannot reach it; one clone per sweep config, not a hot path
   return std::unique_ptr<AlwaysDelayPolicy>(new AlwaysDelayPolicy(*this));
 }
 

@@ -9,8 +9,8 @@
 //             Cache — and optional correlation grouping.
 #pragma once
 
+#include <map>
 #include <string>
-#include <unordered_map>
 
 #include "core/k_distribution.hpp"
 #include "core/policy.hpp"
@@ -166,7 +166,10 @@ class RandomCachePolicy final : public CachePrivacyPolicy {
   std::size_t namespace_prefix_len_;
   /// Group state for grouped modes. Unbounded by design: group state must
   /// outlive individual entries or eviction would reset counters and leak.
-  std::unordered_map<std::string, GroupState> groups_;
+  /// Ordered map, not unordered: export_metrics walks it, and iteration
+  /// order on a simulation path must be implementation-independent
+  /// (determinism-unordered-iteration in docs/STATIC_ANALYSIS.md).
+  std::map<std::string, GroupState> groups_;
 };
 
 }  // namespace ndnp::core

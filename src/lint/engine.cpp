@@ -1,0 +1,488 @@
+#include "lint/engine.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace ndnp::lint {
+
+namespace {
+
+[[nodiscard]] bool is_space(char c) noexcept {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+[[nodiscard]] std::string trimmed(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && is_space(s[b])) ++b;
+  while (e > b && is_space(s[e - 1])) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+/// Whitespace runs collapsed to single spaces, ends trimmed — the
+/// normalization baseline hashes are computed over.
+[[nodiscard]] std::string normalized(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  bool pending_space = false;
+  for (const char c : s) {
+    if (is_space(c)) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) out += ' ';
+    pending_space = false;
+    out += c;
+  }
+  return out;
+}
+
+[[nodiscard]] bool finding_order(const Finding& a, const Finding& b) noexcept {
+  if (a.file != b.file) return a.file < b.file;
+  if (a.line != b.line) return a.line < b.line;
+  if (a.rule != b.rule) return a.rule < b.rule;
+  return a.message < b.message;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+[[nodiscard]] std::string hash_hex(std::uint64_t hash) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[hash & 0xf];
+    hash >>= 4;
+  }
+  return out;
+}
+
+/// One NDNP-LINT-ALLOW marker parsed out of a comment.
+struct AllowMarker {
+  std::vector<std::string> rules;  // "*" wildcard allowed
+  bool has_reason = false;
+};
+
+[[nodiscard]] std::vector<AllowMarker> parse_allow_markers(const std::string& comment) {
+  static constexpr std::string_view kTag = "NDNP-LINT-ALLOW(";
+  std::vector<AllowMarker> markers;
+  std::size_t pos = 0;
+  while ((pos = comment.find(kTag, pos)) != std::string::npos) {
+    pos += kTag.size();
+    const std::size_t close = comment.find(')', pos);
+    if (close == std::string::npos) break;
+    AllowMarker marker;
+    std::string rule_list = comment.substr(pos, close - pos);
+    std::size_t start = 0;
+    while (start <= rule_list.size()) {
+      const std::size_t comma = rule_list.find(',', start);
+      const std::string one =
+          trimmed(rule_list.substr(start, comma == std::string::npos ? std::string::npos
+                                                                     : comma - start));
+      if (!one.empty()) marker.rules.push_back(one);
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    std::size_t after = close + 1;
+    while (after < comment.size() && is_space(comment[after])) ++after;
+    if (after < comment.size() && comment[after] == ':') {
+      const std::string reason = trimmed(comment.substr(after + 1));
+      marker.has_reason = !reason.empty();
+    }
+    markers.push_back(std::move(marker));
+    pos = close;
+  }
+  return markers;
+}
+
+[[nodiscard]] bool marker_covers(const AllowMarker& marker, const std::string& rule) {
+  for (const std::string& r : marker.rules)
+    if (r == "*" || r == rule) return true;
+  return false;
+}
+
+[[nodiscard]] bool rule_applies(const LintConfig& config, std::string_view rule_id,
+                                std::string_view path) {
+  for (const RuleBinding& binding : config.bindings) {
+    if (binding.rule_id != rule_id) continue;
+    for (const std::string& prefix : binding.exclude_prefixes)
+      if (path_has_prefix(path, prefix)) return false;
+    if (binding.include_prefixes.empty()) return true;
+    for (const std::string& prefix : binding.include_prefixes)
+      if (path_has_prefix(path, prefix)) return true;
+    return false;
+  }
+  return true;  // no binding: the rule applies everywhere
+}
+
+}  // namespace
+
+bool path_has_prefix(std::string_view path, std::string_view prefix) noexcept {
+  if (prefix.empty()) return true;
+  if (path.size() < prefix.size() || path.substr(0, prefix.size()) != prefix) return false;
+  return path.size() == prefix.size() || path[prefix.size()] == '/';
+}
+
+std::uint64_t finding_hash(const Finding& finding) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  const auto mix = [&hash](std::string_view s) {
+    for (const char c : s) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 0x100000001b3ULL;
+    }
+    hash ^= static_cast<unsigned char>('|');
+    hash *= 0x100000001b3ULL;
+  };
+  mix(finding.rule);
+  mix(finding.file);
+  mix(normalized(finding.excerpt));
+  return hash;
+}
+
+// ---------------------------------------------------------------------------
+// Baseline
+
+Baseline Baseline::parse(std::string_view text) {
+  Baseline baseline;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t eol = text.find('\n', start);
+    const std::string line =
+        trimmed(text.substr(start, eol == std::string_view::npos ? std::string_view::npos
+                                                                 : eol - start));
+    ++line_no;
+    start = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string rule, hash_text, file, extra;
+    fields >> rule >> hash_text >> file;
+    if (rule.empty() || hash_text.size() != 16 || file.empty() || (fields >> extra))
+      throw std::runtime_error("malformed baseline line " + std::to_string(line_no) + ": '" +
+                               line + "'");
+    std::uint64_t hash = 0;
+    for (const char c : hash_text) {
+      const char lower = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      std::uint64_t digit = 0;
+      if (lower >= '0' && lower <= '9')
+        digit = static_cast<std::uint64_t>(lower - '0');
+      else if (lower >= 'a' && lower <= 'f')
+        digit = static_cast<std::uint64_t>(lower - 'a' + 10);
+      else
+        throw std::runtime_error("malformed baseline hash on line " + std::to_string(line_no));
+      hash = (hash << 4) | digit;
+    }
+    const Key key{rule, file, hash};
+    const auto it = std::lower_bound(
+        baseline.entries_.begin(), baseline.entries_.end(), key,
+        [](const std::pair<Key, int>& entry, const Key& k) { return entry.first < k; });
+    if (it != baseline.entries_.end() && it->first == key)
+      ++it->second;
+    else
+      baseline.entries_.insert(it, {key, 1});
+    ++baseline.total_;
+  }
+  return baseline;
+}
+
+Baseline Baseline::from_findings(const std::vector<Finding>& findings) {
+  std::string text;
+  for (const Finding& finding : findings)
+    text += finding.rule + " " + hash_hex(finding_hash(finding)) + " " + finding.file + "\n";
+  return parse(text);
+}
+
+std::string Baseline::serialize() const {
+  std::string out =
+      "# ndnp_lint baseline v1 — grandfathered findings, one `<rule> <hash> <file>` per line.\n"
+      "# This file may only shrink: entries that stop matching are stale and fail CI\n"
+      "# (docs/STATIC_ANALYSIS.md).\n";
+  for (const auto& [key, count] : entries_)
+    for (int i = 0; i < count; ++i)
+      out += key.rule + " " + hash_hex(key.hash) + " " + key.file + "\n";
+  return out;
+}
+
+bool Baseline::consume(const Finding& finding) {
+  const Key key{finding.rule, finding.file, finding_hash(finding)};
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const std::pair<Key, int>& entry, const Key& k) { return entry.first < k; });
+  if (it == entries_.end() || !(it->first == key) || it->second == 0) return false;
+  --it->second;
+  return true;
+}
+
+std::vector<BaselineEntry> Baseline::remaining() const {
+  std::vector<BaselineEntry> out;
+  for (const auto& [key, count] : entries_)
+    for (int i = 0; i < count; ++i)
+      out.push_back(BaselineEntry{.rule = key.rule, .file = key.file, .hash = key.hash});
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Report
+
+std::string LintReport::to_text() const {
+  std::vector<Finding> sorted = findings;
+  std::sort(sorted.begin(), sorted.end(), finding_order);
+  std::string out;
+  for (const Finding& finding : sorted) {
+    out += finding.file + ":" + std::to_string(finding.line) + ": [" + finding.rule + "] " +
+           finding.message + "\n";
+    if (!finding.excerpt.empty()) out += "    " + finding.excerpt + "\n";
+  }
+  for (const BaselineEntry& entry : stale_baseline)
+    out += "stale baseline entry (fix was made — remove the line): " + entry.rule + " " +
+           hash_hex(entry.hash) + " " + entry.file + "\n";
+  out += std::to_string(sorted.size()) + " finding(s), " + std::to_string(suppressed) +
+         " suppressed, " + std::to_string(baselined.size()) + " baselined, " +
+         std::to_string(stale_baseline.size()) + " stale baseline entr" +
+         (stale_baseline.size() == 1 ? "y" : "ies") + " across " +
+         std::to_string(files_scanned) + " file(s)\n";
+  return out;
+}
+
+std::string LintReport::to_json() const {
+  std::vector<Finding> sorted = findings;
+  std::sort(sorted.begin(), sorted.end(), finding_order);
+  std::vector<BaselineEntry> stale = stale_baseline;
+  std::sort(stale.begin(), stale.end(), [](const BaselineEntry& a, const BaselineEntry& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.hash < b.hash;
+  });
+  std::string out = "{\"baselined\":" + std::to_string(baselined.size());
+  out += ",\"files_scanned\":" + std::to_string(files_scanned);
+  out += ",\"findings\":[";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i) out += ',';
+    const Finding& finding = sorted[i];
+    out += "{\"excerpt\":";
+    append_json_string(out, finding.excerpt);
+    out += ",\"file\":";
+    append_json_string(out, finding.file);
+    out += ",\"hash\":";
+    append_json_string(out, hash_hex(finding_hash(finding)));
+    out += ",\"line\":" + std::to_string(finding.line);
+    out += ",\"message\":";
+    append_json_string(out, finding.message);
+    out += ",\"rule\":";
+    append_json_string(out, finding.rule);
+    out += '}';
+  }
+  out += "],\"stale_baseline\":[";
+  for (std::size_t i = 0; i < stale.size(); ++i) {
+    if (i) out += ',';
+    out += "{\"file\":";
+    append_json_string(out, stale[i].file);
+    out += ",\"hash\":";
+    append_json_string(out, hash_hex(stale[i].hash));
+    out += ",\"rule\":";
+    append_json_string(out, stale[i].rule);
+    out += '}';
+  }
+  out += "],\"suppressed\":" + std::to_string(suppressed) + "}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+
+void lint_source(const std::string& rel_path, std::string_view content, const LintConfig& config,
+                 LintReport& report, std::string_view companion_content) {
+  SourceFile file;
+  file.path = rel_path;
+  file.lexed = lex(content);
+  if (!companion_content.empty()) file.companion = lex(companion_content);
+  const std::size_t dot = rel_path.find_last_of('.');
+  const std::string ext = dot == std::string::npos ? "" : rel_path.substr(dot);
+  file.is_header = ext == ".hpp" || ext == ".h" || ext == ".hh";
+
+  std::vector<Finding> raw;
+  for (const auto& rule : config.rules) {
+    if (!rule_applies(config, rule->id(), rel_path)) continue;
+    rule->check(file, raw);
+  }
+
+  // Suppressions: an ALLOW on the finding's line or the line above.
+  std::set<std::size_t> missing_reason_lines;
+  for (Finding& finding : raw) {
+    bool suppressed_here = false;
+    bool missing_reason = false;
+    std::size_t marker_line = 0;
+    for (std::size_t line = finding.line;
+         line + 1 >= finding.line && line >= 1 && line <= file.lexed.lines.size(); --line) {
+      for (const AllowMarker& marker : parse_allow_markers(file.lexed.lines[line - 1].comment)) {
+        if (!marker_covers(marker, finding.rule)) continue;
+        if (marker.has_reason) {
+          suppressed_here = true;
+        } else {
+          missing_reason = true;
+          marker_line = line;
+        }
+      }
+      if (suppressed_here || line == 1) break;
+    }
+    if (suppressed_here) {
+      ++report.suppressed;
+      continue;
+    }
+    if (missing_reason) missing_reason_lines.insert(marker_line);
+    report.findings.push_back(std::move(finding));
+  }
+  for (const std::size_t line : missing_reason_lines) {
+    Finding finding;
+    finding.rule = "allow-missing-reason";
+    finding.file = rel_path;
+    finding.line = line;
+    finding.message =
+        "NDNP-LINT-ALLOW without a reason — write `NDNP-LINT-ALLOW(rule): why` so the "
+        "suppression documents itself";
+    finding.excerpt = line <= file.lexed.lines.size()
+                          ? trimmed(file.lexed.lines[line - 1].code + " // " +
+                                    file.lexed.lines[line - 1].comment)
+                          : "";
+    report.findings.push_back(std::move(finding));
+  }
+  ++report.files_scanned;
+}
+
+void apply_baseline(LintReport& report, Baseline baseline) {
+  std::vector<Finding> active;
+  for (Finding& finding : report.findings) {
+    if (baseline.consume(finding))
+      report.baselined.push_back(std::move(finding));
+    else
+      active.push_back(std::move(finding));
+  }
+  report.findings = std::move(active);
+  report.stale_baseline = baseline.remaining();
+}
+
+std::vector<std::string> collect_sources(const std::string& root,
+                                         const std::vector<std::string>& paths,
+                                         const LintConfig& config) {
+  namespace fs = std::filesystem;
+  const fs::path root_path(root);
+  std::set<std::string> collected;
+  const auto consider = [&](const fs::path& path) {
+    const std::string ext = path.extension().string();
+    if (ext != ".cpp" && ext != ".hpp" && ext != ".h" && ext != ".hh" && ext != ".cc") return;
+    std::string rel = fs::relative(path, root_path).lexically_normal().generic_string();
+    for (const std::string& prefix : config.exclude_prefixes)
+      if (path_has_prefix(rel, prefix)) return;
+    collected.insert(std::move(rel));
+  };
+  for (const std::string& arg : paths) {
+    fs::path path(arg);
+    if (path.is_relative()) path = root_path / path;
+    if (fs::is_directory(path)) {
+      for (const auto& entry : fs::recursive_directory_iterator(path))
+        if (entry.is_regular_file()) consider(entry.path());
+    } else if (fs::is_regular_file(path)) {
+      consider(path);
+    } else {
+      throw std::runtime_error("ndnp_lint: no such file or directory: " + arg);
+    }
+  }
+  return {collected.begin(), collected.end()};
+}
+
+LintReport lint_paths(const std::string& root, const std::vector<std::string>& paths,
+                      const LintConfig& config) {
+  namespace fs = std::filesystem;
+  const auto read_file = [](const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("ndnp_lint: cannot read " + path.string());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+  LintReport report;
+  for (const std::string& rel : collect_sources(root, paths, config)) {
+    const fs::path path = fs::path(root) / rel;
+    // A .cpp's member declarations usually live in its companion header.
+    std::string companion;
+    if (path.extension() == ".cpp" || path.extension() == ".cc") {
+      for (const char* header_ext : {".hpp", ".h", ".hh"}) {
+        fs::path candidate = path;
+        candidate.replace_extension(header_ext);
+        if (fs::is_regular_file(candidate)) {
+          companion = read_file(candidate);
+          break;
+        }
+      }
+    }
+    lint_source(rel, read_file(path), config, report, companion);
+  }
+  std::sort(report.findings.begin(), report.findings.end(), finding_order);
+  return report;
+}
+
+LintConfig LintConfig::repo_default() {
+  LintConfig config;
+  config.rules = make_default_rules();
+  // The determinism contract covers every directory whose code runs inside
+  // a simulation: the event core and network model (sim), trace parsing
+  // and replay (trace), the online detectors (telemetry), the sweep runner
+  // (runner), the adversary implementations (attack), and the cache +
+  // policy layers they all drive (cache, core). src/util is the one layer
+  // allowed to wrap nondeterministic primitives behind deterministic
+  // interfaces (util::Rng, tracing wall-clock metadata).
+  const std::vector<std::string> deterministic_dirs = {
+      "src/sim",    "src/trace", "src/telemetry", "src/runner",
+      "src/attack", "src/cache", "src/core",
+  };
+  config.bindings = {
+      {.rule_id = "determinism-rand", .include_prefixes = deterministic_dirs,
+       .exclude_prefixes = {}},
+      {.rule_id = "determinism-wallclock", .include_prefixes = deterministic_dirs,
+       .exclude_prefixes = {}},
+      {.rule_id = "determinism-unordered-iteration", .include_prefixes = deterministic_dirs,
+       .exclude_prefixes = {}},
+      // Allocation hygiene: everywhere in the library tree except the
+      // allocator substrates themselves. Tests/bench/tools may allocate.
+      {.rule_id = "alloc-naked-new", .include_prefixes = {"src"},
+       .exclude_prefixes = {"src/util"}},
+      // Hygiene rules everywhere (empty include = all scanned paths).
+      {.rule_id = "macro-side-effect", .include_prefixes = {}, .exclude_prefixes = {}},
+      {.rule_id = "header-pragma-once", .include_prefixes = {}, .exclude_prefixes = {}},
+      {.rule_id = "header-using-namespace", .include_prefixes = {}, .exclude_prefixes = {}},
+  };
+  // The lint self-test corpus is deliberately full of findings; build
+  // trees hold generated/vendored sources.
+  config.exclude_prefixes = {"tests/lint_corpus",  "build",       "build-cov",
+                             "build-ref",          "build-noinv", "build-notel",
+                             "build-notrace",      "build-chaos", "build-asan",
+                             "build-tsan"};
+  return config;
+}
+
+}  // namespace ndnp::lint

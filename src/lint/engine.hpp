@@ -1,0 +1,140 @@
+// ndnp_lint engine: directory-scoped rule bindings, NDNP-LINT-ALLOW
+// suppressions, a checked-in baseline for grandfathered findings, and
+// canonical text / JSON reports.
+//
+// Workflow (docs/STATIC_ANALYSIS.md):
+//
+//  - `LintConfig::repo_default()` binds the rule pack to the directories
+//    whose invariants it encodes (determinism rules on the simulation
+//    tree, allocation rules outside the allocator layer, hygiene rules
+//    everywhere).
+//  - A finding is silenced at the site with
+//        `// NDNP-LINT-ALLOW(rule): reason`
+//    on the same or the preceding line. The reason is mandatory — an ALLOW
+//    without one is itself reported (rule `allow-missing-reason`).
+//  - Legacy findings may be grandfathered in a baseline file
+//    (`.ndnp_lint_baseline`). Entries match on (rule, file, content hash),
+//    not line numbers, so unrelated edits do not invalidate them. Baseline
+//    entries that no longer match anything are *stale* and reported —
+//    CI fails on them, which makes the baseline shrinks-only.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/rules.hpp"
+
+namespace ndnp::lint {
+
+/// Binds one rule id to path prefixes. Empty `include_prefixes` means the
+/// rule applies everywhere (minus excludes). Prefixes are repo-relative
+/// directory paths matched whole-component ("src/sim" matches
+/// "src/sim/node.cpp" but not "src/simx/a.cpp").
+struct RuleBinding {
+  std::string rule_id;
+  std::vector<std::string> include_prefixes;
+  std::vector<std::string> exclude_prefixes;
+};
+
+struct LintConfig {
+  std::vector<std::shared_ptr<const Rule>> rules;
+  std::vector<RuleBinding> bindings;
+  /// Paths skipped entirely (the deliberately-dirty lint self-test corpus,
+  /// build trees).
+  std::vector<std::string> exclude_prefixes;
+
+  /// The repository rule pack with its directory scopes.
+  [[nodiscard]] static LintConfig repo_default();
+};
+
+/// True when `path` is `prefix` or lies underneath it.
+[[nodiscard]] bool path_has_prefix(std::string_view path, std::string_view prefix) noexcept;
+
+/// FNV-1a over "rule|file|normalized excerpt" (whitespace runs collapsed).
+/// Line numbers are deliberately not hashed: baselines survive unrelated
+/// edits above the finding.
+[[nodiscard]] std::uint64_t finding_hash(const Finding& finding) noexcept;
+
+struct BaselineEntry {
+  std::string rule;
+  std::string file;
+  std::uint64_t hash = 0;
+};
+
+/// Multiset of grandfathered findings keyed by (rule, file, hash).
+class Baseline {
+ public:
+  /// Parses the on-disk format: '#' comment lines, then
+  /// `<rule> <hash16hex> <file>` per entry (duplicates repeat the line).
+  /// Throws std::runtime_error on a malformed line.
+  [[nodiscard]] static Baseline parse(std::string_view text);
+  [[nodiscard]] static Baseline from_findings(const std::vector<Finding>& findings);
+
+  /// Canonical serialization: header comment + entries sorted by
+  /// (rule, file, hash). parse(serialize()) round-trips exactly.
+  [[nodiscard]] std::string serialize() const;
+
+  /// Consumes one matching entry; false when none is left for the finding.
+  [[nodiscard]] bool consume(const Finding& finding);
+
+  /// Entries never consumed — stale once every finding has been offered.
+  [[nodiscard]] std::vector<BaselineEntry> remaining() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return total_; }
+
+ private:
+  struct Key {
+    std::string rule;
+    std::string file;
+    std::uint64_t hash;
+    auto operator<=>(const Key&) const = default;
+  };
+  std::vector<std::pair<Key, int>> entries_;  // sorted, count per key
+  std::size_t total_ = 0;
+};
+
+struct LintReport {
+  /// Active findings: not suppressed, not baselined. Sorted by
+  /// (file, line, rule).
+  std::vector<Finding> findings;
+  /// Findings matched (and consumed) by the baseline.
+  std::vector<Finding> baselined;
+  std::size_t files_scanned = 0;
+  std::size_t suppressed = 0;
+  std::vector<BaselineEntry> stale_baseline;
+
+  [[nodiscard]] bool clean() const noexcept {
+    return findings.empty() && stale_baseline.empty();
+  }
+  [[nodiscard]] std::string to_text() const;
+  /// Canonical JSON: keys in fixed order, findings sorted, strings escaped;
+  /// byte-identical for identical inputs on every platform.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Lints one in-memory source (tests, corpus). Appends to `report`;
+/// `rel_path` selects rule bindings and is reported in findings.
+/// `companion_content` is the matching header of a .cpp when one exists —
+/// declaration-tracking rules read member declarations from it.
+void lint_source(const std::string& rel_path, std::string_view content, const LintConfig& config,
+                 LintReport& report, std::string_view companion_content = {});
+
+/// Applies the baseline to `report`: moves matched findings into
+/// `baselined` and records unmatched baseline entries as stale.
+void apply_baseline(LintReport& report, Baseline baseline);
+
+/// Expands files/directories under `root` into a sorted list of
+/// repo-relative .cpp/.hpp paths, honouring `config.exclude_prefixes`.
+/// Throws std::runtime_error for a path that does not exist.
+[[nodiscard]] std::vector<std::string> collect_sources(const std::string& root,
+                                                       const std::vector<std::string>& paths,
+                                                       const LintConfig& config);
+
+/// Reads and lints every collected path. The returned report has no
+/// baseline applied; call apply_baseline for that.
+[[nodiscard]] LintReport lint_paths(const std::string& root, const std::vector<std::string>& paths,
+                                    const LintConfig& config);
+
+}  // namespace ndnp::lint

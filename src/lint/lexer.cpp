@@ -1,0 +1,194 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+
+namespace ndnp::lint {
+
+namespace {
+
+[[nodiscard]] bool is_ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when `code` (the code view accumulated so far on this line) ends
+/// with a raw-string prefix: `R`, `LR`, `uR`, `UR` or `u8R`, not preceded
+/// by another identifier character (so `FooR"x"` is not a raw string).
+[[nodiscard]] bool ends_with_raw_prefix(const std::string& code) noexcept {
+  const std::size_t n = code.size();
+  if (n == 0 || code[n - 1] != 'R') return false;
+  std::size_t before = n - 1;  // index one past the encoding prefix
+  if (before >= 2 && code[before - 2] == 'u' && code[before - 1] == '8') {
+    before -= 2;
+  } else if (before >= 1 &&
+             (code[before - 1] == 'L' || code[before - 1] == 'u' || code[before - 1] == 'U')) {
+    before -= 1;
+  }
+  return before == 0 || !is_ident_char(code[before - 1]);
+}
+
+/// True when a `'` immediately after `code` is a digit separator inside a
+/// numeric literal (`10'000`, `0xFF'FF`) rather than a character literal.
+[[nodiscard]] bool quote_is_digit_separator(const std::string& code) noexcept {
+  if (code.empty()) return false;
+  std::size_t i = code.size();
+  // Walk back over the characters a numeric literal may contain.
+  while (i > 0) {
+    const char c = code[i - 1];
+    const bool numeric_char = (std::isxdigit(static_cast<unsigned char>(c)) != 0) || c == 'x' ||
+                              c == 'X' || c == '\'' || c == '.';
+    if (!numeric_char) break;
+    --i;
+  }
+  if (i == code.size()) return false;            // nothing numeric before the quote
+  if (i > 0 && is_ident_char(code[i - 1])) return false;  // part of an identifier
+  return std::isdigit(static_cast<unsigned char>(code[i])) != 0;  // literals start with a digit
+}
+
+[[nodiscard]] bool code_is_blank(const std::string& code) noexcept {
+  for (const char c : code)
+    if (std::isspace(static_cast<unsigned char>(c)) == 0) return false;
+  return true;
+}
+
+[[nodiscard]] bool ends_with_backslash(const std::string& code) noexcept {
+  for (std::size_t i = code.size(); i > 0; --i) {
+    const char c = code[i - 1];
+    if (c == '\\') return true;
+    if (std::isspace(static_cast<unsigned char>(c)) == 0) return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+LexedFile lex(std::string_view source) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+
+  LexedFile out;
+  State state = State::kCode;
+  std::string raw_terminator;  // ")delim\"" for the active raw string
+  LexedLine line;
+  bool continue_preprocessor = false;
+
+  const std::size_t n = source.size();
+  std::size_t i = 0;
+  while (i <= n) {
+    if (i == n || source[i] == '\n') {
+      // End of line: unterminated ordinary literals recover, line comments
+      // end, block comments and raw strings carry over.
+      if (state == State::kLineComment || state == State::kString || state == State::kChar)
+        state = State::kCode;
+      continue_preprocessor = line.preprocessor && ends_with_backslash(line.code);
+      out.lines.push_back(std::move(line));
+      line = LexedLine{};
+      line.preprocessor = continue_preprocessor;
+      if (i == n) break;
+      ++i;
+      continue;
+    }
+    const char c = source[i];
+    switch (state) {
+      case State::kCode: {
+        if (c == '#' && code_is_blank(line.code) && !line.preprocessor) {
+          line.preprocessor = true;
+          line.code += c;
+          ++i;
+          break;
+        }
+        if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+          state = State::kLineComment;
+          i += 2;
+          break;
+        }
+        if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+          state = State::kBlockComment;
+          line.code += ' ';  // keep token separation across the comment
+          i += 2;
+          break;
+        }
+        if (c == '"') {
+          if (ends_with_raw_prefix(line.code)) {
+            std::string delim;
+            std::size_t j = i + 1;
+            while (j < n && source[j] != '(' && source[j] != '\n' && delim.size() < 16)
+              delim += source[j++];
+            if (j < n && source[j] == '(') {
+              state = State::kRawString;
+              raw_terminator = ")" + delim + "\"";
+              line.code += '"';
+              line.code += delim;
+              line.code += '(';
+              i = j + 1;
+              break;
+            }
+          }
+          line.code += '"';
+          state = State::kString;
+          ++i;
+          break;
+        }
+        if (c == '\'') {
+          if (quote_is_digit_separator(line.code)) {
+            line.code += c;
+            ++i;
+            break;
+          }
+          line.code += '\'';
+          state = State::kChar;
+          ++i;
+          break;
+        }
+        line.code += c;
+        ++i;
+        break;
+      }
+      case State::kLineComment:
+        line.comment += c;
+        ++i;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < n && source[i + 1] == '/') {
+          state = State::kCode;
+          i += 2;
+        } else {
+          line.comment += c;
+          ++i;
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < n && source[i + 1] != '\n') {
+          i += 2;  // escaped character, blanked
+        } else if (c == '"') {
+          line.code += '"';
+          state = State::kCode;
+          ++i;
+        } else {
+          ++i;  // literal contents are blanked from the code view
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < n && source[i + 1] != '\n') {
+          i += 2;
+        } else if (c == '\'') {
+          line.code += '\'';
+          state = State::kCode;
+          ++i;
+        } else {
+          ++i;
+        }
+        break;
+      case State::kRawString:
+        if (source.compare(i, raw_terminator.size(), raw_terminator) == 0) {
+          line.code += raw_terminator;
+          state = State::kCode;
+          i += raw_terminator.size();
+        } else {
+          ++i;  // raw-string contents (including quotes) are blanked
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace ndnp::lint

@@ -1,0 +1,55 @@
+// Line-oriented C++ lexer for the project static analyzer (ndnp_lint).
+//
+// The rule pack (rules.hpp) wants to reason about *code*, not about the
+// words inside comments or string literals — "new" in a doc comment or a
+// log message must never trip the allocation rule. This lexer performs the
+// minimal faithful tokenization that makes that sound:
+//
+//  - `//` and `/* ... */` comments (including multi-line blocks) are
+//    removed from the code view and collected per line in `comment`, which
+//    is where the suppression scanner looks for NDNP-LINT-ALLOW markers.
+//  - String and character literals keep their delimiters in the code view
+//    but have their contents blanked, with escape sequences honoured.
+//  - Raw strings `R"delim( ... )delim"` are matched by delimiter and may
+//    span lines; their contents are blanked like ordinary literals.
+//  - Digit separators (`10'000`, `0xFF'FF`) are recognised so they do not
+//    open a bogus character literal.
+//  - Preprocessor directives (and their backslash-continuation lines) are
+//    flagged so rules can skip or target them (`#pragma once` detection,
+//    macro-definition sites).
+//
+// This is deliberately not a full C++ parser: the rules it feeds are
+// token-level invariants, and the suppression mechanism covers the
+// residual false positives a heuristic lexer cannot avoid.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ndnp::lint {
+
+/// One physical source line, split into the code view and comment text.
+struct LexedLine {
+  /// Source text with comments removed and literal contents blanked;
+  /// literal delimiters are preserved so token adjacency stays intact.
+  std::string code;
+  /// Concatenated text of every comment (or comment fragment) on the line,
+  /// without the `//` / `/*` markers.
+  std::string comment;
+  /// True when the line is a preprocessor directive or a backslash
+  /// continuation of one.
+  bool preprocessor = false;
+};
+
+struct LexedFile {
+  /// Physical lines in order; line N of the file is `lines[N - 1]`.
+  std::vector<LexedLine> lines;
+};
+
+/// Lexes a whole translation unit. Never throws on malformed input: an
+/// unterminated literal recovers at end of line, an unterminated block
+/// comment or raw string runs to end of file.
+[[nodiscard]] LexedFile lex(std::string_view source);
+
+}  // namespace ndnp::lint

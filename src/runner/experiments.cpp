@@ -26,7 +26,9 @@ std::string sprintf_line(const char* fmt, ...) {
   return buf;
 }
 
+// NDNP-LINT-ALLOW(determinism-wallclock): helper that timestamps bench tables; never feeds merged metrics
 double elapsed_seconds(std::chrono::steady_clock::time_point start) {
+  // NDNP-LINT-ALLOW(determinism-wallclock): helper that timestamps bench tables; never feeds merged metrics
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 }
 
@@ -54,6 +56,7 @@ util::MetricsSnapshot replay_with_metrics(const trace::Trace& trace,
 // Figure 5(a)
 
 Fig5aResult run_fig5a(const Fig5aConfig& config) {
+  // NDNP-LINT-ALLOW(determinism-wallclock): wall_seconds reporting gauge, excluded from golden output
   const auto start = std::chrono::steady_clock::now();
 
   trace::TraceGenConfig gen;
@@ -167,6 +170,7 @@ std::string Fig5aResult::merged_json() const {
 // Figure 5(b)
 
 Fig5bResult run_fig5b(const Fig5bConfig& config) {
+  // NDNP-LINT-ALLOW(determinism-wallclock): wall_seconds reporting gauge, excluded from golden output
   const auto start = std::chrono::steady_clock::now();
 
   trace::TraceGenConfig gen;
@@ -246,6 +250,7 @@ std::string Fig5bResult::merged_json() const {
 // Figure 4(a)
 
 Fig4aResult run_fig4a(const Fig4aConfig& config) {
+  // NDNP-LINT-ALLOW(determinism-wallclock): wall_seconds reporting gauge, excluded from golden output
   const auto start = std::chrono::steady_clock::now();
 
   Fig4aResult result;
@@ -341,6 +346,7 @@ constexpr double kPrivacyAlpha = 0.99;
 }  // namespace
 
 TheoryValidationResult run_theory_validation(const TheoryValidationConfig& config) {
+  // NDNP-LINT-ALLOW(determinism-wallclock): wall_seconds reporting gauge, excluded from golden output
   const auto start = std::chrono::steady_clock::now();
   TheoryValidationResult result;
 

@@ -47,6 +47,7 @@ ShardedReplayResult replay_sharded(const TraceSourceFactory& open_source,
   out.shards.resize(config.shards);
   std::vector<std::uint64_t> malformed(config.shards, 0);
 
+  // NDNP-LINT-ALLOW(determinism-wallclock): wall_seconds reporting gauge, excluded from merged_json
   const auto start = std::chrono::steady_clock::now();
   detail::parallel_for(config.shards, resolve_jobs(config.jobs), [&](std::size_t i) {
     const std::unique_ptr<trace::TraceSource> source = open_source();
@@ -76,6 +77,7 @@ ShardedReplayResult replay_sharded(const TraceSourceFactory& open_source,
     malformed[i] = source->stats().malformed;
   });
   out.wall_seconds =
+      // NDNP-LINT-ALLOW(determinism-wallclock): wall_seconds reporting gauge, excluded from merged_json
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 
   // Merge in shard-index order; recompute rates over the merged counters

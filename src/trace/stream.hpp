@@ -69,8 +69,8 @@ struct ParseOptions {
 /// can report how far the parse got.
 class TraceParseError : public std::runtime_error {
  public:
-  TraceParseError(const std::string& what, ParseStats stats)
-      : std::runtime_error(what), stats(stats) {}
+  TraceParseError(const std::string& what, ParseStats parse_stats)
+      : std::runtime_error(what), stats(parse_stats) {}
   ParseStats stats;
 };
 

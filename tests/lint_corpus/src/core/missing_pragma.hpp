@@ -1,0 +1,9 @@
+// Corpus: header-pragma-once (this header deliberately has no include
+// guard) and header-using-namespace.
+// Expected findings: header-pragma-once (line 1), header-using-namespace
+// at the marked line.
+#include <string>
+
+using namespace std;  // finding: header-using-namespace
+
+inline string shout(const string& s) { return s + "!"; }

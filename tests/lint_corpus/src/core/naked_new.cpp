@@ -1,0 +1,30 @@
+// Corpus: alloc-naked-new positives and the grammar negatives the rule
+// must not trip on (`= delete`, operator new/delete declarations).
+// Expected findings: alloc-naked-new at the three marked lines.
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+struct Widget {
+  Widget() = default;
+  Widget(const Widget&) = delete;             // negative: deleted function
+  Widget& operator=(const Widget&) = delete;  // negative: deleted function
+  void* operator new(std::size_t size);       // negative: operator new declaration
+  void operator delete(void* p) noexcept;     // negative: operator delete declaration
+};
+
+Widget* make_widget() {
+  return new Widget();  // finding: alloc-naked-new
+}
+
+void drop_widget(Widget* w) {
+  delete w;  // finding: alloc-naked-new
+}
+
+void* raw_buffer() {
+  return std::malloc(64);  // finding: alloc-naked-new
+}
+
+std::unique_ptr<Widget> fine() {
+  return std::unique_ptr<Widget>(nullptr);  // negative: no allocation token
+}

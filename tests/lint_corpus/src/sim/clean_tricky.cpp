@@ -1,0 +1,19 @@
+// Corpus: lexer stress file — every banned token below lives inside a
+// comment, a string, a char sequence, or a raw string, so the file must
+// produce ZERO findings. If the lexer ever leaks literal or comment text
+// into the code view, this file lights up.
+#include <string>
+
+/* block comment mentioning std::rand() and new Widget()
+   across lines, plus system_clock::now() for good measure */
+
+std::string tricky() {
+  std::string a = "std::rand() and delete p; inside a string";
+  std::string b = R"lint(raw string with new int[3] and
+std::random_device across physical lines)lint";
+  char c = '\'';           // escaped quote must not open a literal
+  int separated = 10'000;  // digit separator must not open a char literal
+  std::string d = "unterminated-looking \\" + a;
+  return a + b + c + d + std::to_string(separated);
+  // trailing comment: srand(7), malloc(8), using namespace std
+}

@@ -1,0 +1,33 @@
+// Corpus: determinism-unordered-iteration positives (including the
+// cross-file case: counts_ is declared in the companion header) and
+// ordered-container negatives.
+// Expected findings: determinism-unordered-iteration at the two marked
+// lines.
+#include "iterates_unordered.hpp"
+
+#include <map>
+
+void Tally::dump() const {
+  for (const auto& [key, count] : counts_) {  // finding: cross-file iteration
+    (void)key;
+    (void)count;
+  }
+}
+
+int local_iteration() {
+  std::unordered_map<int, int> local{{1, 2}};
+  int sum = 0;
+  auto it = local.begin();  // finding: explicit iterator over unordered
+  sum += it->second;
+  return sum;
+}
+
+// Negatives: ordered containers iterate deterministically, and point
+// lookups on unordered containers are fine.
+int ordered_is_fine() {
+  std::map<int, int> ordered{{1, 2}};
+  int sum = 0;
+  for (const auto& [k, v] : ordered) sum += k + v;
+  std::unordered_map<int, int> lookup_only{{3, 4}};
+  return sum + lookup_only.at(3) + static_cast<int>(lookup_only.count(3));
+}

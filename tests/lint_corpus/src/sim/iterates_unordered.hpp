@@ -1,0 +1,12 @@
+// Corpus: companion header for iterates_unordered.cpp — declares the
+// unordered member whose iteration the .cpp must be flagged for. The
+// declaration itself is legal; only iteration is banned.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+struct Tally {
+  std::unordered_map<std::string, int> counts_;
+  void dump() const;
+};

@@ -1,0 +1,17 @@
+// Corpus: suppression mechanics. Two justified ALLOWs (same-line and
+// previous-line) silence their findings; one reasonless ALLOW silences
+// nothing and is itself reported.
+// Expected findings: determinism-rand at the reasonless-ALLOW line, plus
+// allow-missing-reason for that line. Expected suppressed count: 2.
+#include <cstdlib>
+
+int justified() {
+  int a = std::rand();  // NDNP-LINT-ALLOW(determinism-rand): corpus — same-line suppression
+  // NDNP-LINT-ALLOW(determinism-rand): corpus — previous-line suppression
+  int b = std::rand();
+  return a + b;
+}
+
+int unjustified() {
+  return std::rand();  // NDNP-LINT-ALLOW(determinism-rand)
+}

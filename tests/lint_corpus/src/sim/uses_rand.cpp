@@ -1,0 +1,22 @@
+// Corpus: determinism-rand positives and near-miss negatives.
+// Expected findings: determinism-rand at the three marked lines, nothing
+// else.
+#include <cstdlib>
+#include <random>
+
+int draw_three() {
+  int a = std::rand();              // finding: determinism-rand
+  std::random_device entropy;       // finding: determinism-rand
+  int b = static_cast<int>(entropy());
+  srand(42u);                       // finding: determinism-rand
+  return a + b;
+}
+
+// Negatives: none of these may be flagged.
+int brand_new_rand_like_names() {
+  int operand = 3;          // "rand" embedded in a longer identifier
+  int random_looking = 4;   // prefix match only, not the banned token
+  const char* s = "call std::rand() here";  // banned token inside a string
+  return operand + random_looking + (s != nullptr);
+  // std::rand() in a comment must not trip the rule either.
+}

@@ -1,0 +1,21 @@
+// Corpus: determinism-wallclock positives and near-miss negatives.
+// Expected findings: determinism-wallclock at the two marked lines.
+#include <chrono>
+#include <ctime>
+
+long read_clocks() {
+  auto wall = std::chrono::system_clock::now();   // finding: determinism-wallclock
+  long t = time(nullptr);                          // finding: determinism-wallclock
+  return t + wall.time_since_epoch().count();
+}
+
+// Negatives: member calls and lookalike identifiers are fine.
+struct Stopwatch {
+  long time_ = 0;
+  long my_time() const { return time_; }
+};
+
+long not_the_libc_time(const Stopwatch& s) {
+  long lifetime = 1;             // "time" embedded in a longer identifier
+  return s.my_time() + lifetime; // member call, not ::time(
+}

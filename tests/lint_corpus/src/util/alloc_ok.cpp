@@ -1,0 +1,8 @@
+// Corpus: src/util is the allocator layer — the alloc-naked-new binding
+// excludes it, so the naked new/delete below must produce ZERO findings.
+struct Block {
+  Block* next = nullptr;
+};
+
+Block* carve() { return new Block(); }
+void release(Block* b) { delete b; }

@@ -1,0 +1,116 @@
+// Steady-state allocation proof for the ContentStore LFU index.
+//
+// Regression test for the FreqBucket churn bug surfaced by the
+// alloc-naked-new lint rule: index_access() used to `new` a FreqBucket on
+// every frequency promotion (i.e. every LFU cache hit) and `delete` the
+// emptied one, so a hot LFU cache paid the allocator twice per hit.
+// Buckets now recycle through util::Slab, so once the bucket working set
+// has been carved, steady-state hit churn must perform zero heap
+// allocations.
+//
+// The counting global operator new below is the same technique as
+// test_scheduler_differential.cpp / test_tracing.cpp; it must live in its
+// own test binary because replacement of ::operator new is per-binary.
+#include "cache/content_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace {
+std::atomic<std::size_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+// The replacement operators pair ::new with std::free by design; GCC's
+// heuristic cannot see that this *is* the allocation function.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
+
+namespace ndnp::cache {
+namespace {
+
+ndn::Data make_content(const std::string& uri) {
+  ndn::Data data;
+  data.name = ndn::Name(uri);
+  data.payload = "payload";
+  return data;
+}
+
+EntryMeta meta_at(util::SimTime t) {
+  EntryMeta meta;
+  meta.inserted_at = t;
+  meta.last_access = t;
+  return meta;
+}
+
+TEST(ContentStoreAlloc, LfuSteadyStateHitChurnDoesNotAllocate) {
+  constexpr std::size_t kEntries = 64;
+  constexpr int kWarmupRounds = 3;
+  constexpr int kMeasuredRounds = 16;
+
+  ContentStore cs(kEntries, EvictionPolicy::kLfu);
+
+  std::vector<Entry*> entries;
+  entries.reserve(kEntries);
+  util::SimTime now = 0;
+  for (std::size_t i = 0; i < kEntries; ++i)
+    entries.push_back(&cs.insert(make_content("/obj/" + std::to_string(i)), meta_at(++now)));
+
+  // Warm-up: round-robin promotions carve the peak bucket working set
+  // (the freq-f and freq-f+1 buckets coexist mid-round) into the slab.
+  for (int round = 0; round < kWarmupRounds; ++round)
+    for (Entry* entry : entries) cs.touch(*entry, ++now);
+
+  // Steady state: every touch promotes its node into a fresh freq+1
+  // bucket and retires the emptied one — exactly the create/destroy
+  // pattern that used to hit the allocator on every LFU cache hit.
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int round = 0; round < kMeasuredRounds; ++round)
+    for (Entry* entry : entries) cs.touch(*entry, ++now);
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(after - before, 0u)
+      << "LFU frequency promotions allocated during steady-state hit churn";
+  EXPECT_NO_THROW(cs.check_integrity());
+  EXPECT_EQ(cs.size(), kEntries);
+}
+
+// The LRU move-to-front path was always pointer surgery; pin that too so
+// a future index change cannot quietly reintroduce per-hit allocation
+// for the paper's default eviction policy.
+TEST(ContentStoreAlloc, LruSteadyStateHitChurnDoesNotAllocate) {
+  constexpr std::size_t kEntries = 64;
+  constexpr int kMeasuredRounds = 16;
+
+  ContentStore cs(kEntries, EvictionPolicy::kLru);
+
+  std::vector<Entry*> entries;
+  entries.reserve(kEntries);
+  util::SimTime now = 0;
+  for (std::size_t i = 0; i < kEntries; ++i)
+    entries.push_back(&cs.insert(make_content("/obj/" + std::to_string(i)), meta_at(++now)));
+
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int round = 0; round < kMeasuredRounds; ++round)
+    for (Entry* entry : entries) cs.touch(*entry, ++now);
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(after - before, 0u) << "LRU move-to-front allocated during steady-state hit churn";
+  EXPECT_NO_THROW(cs.check_integrity());
+  EXPECT_EQ(cs.size(), kEntries);
+}
+
+}  // namespace
+}  // namespace ndnp::cache

@@ -1,0 +1,346 @@
+// ndnp_lint self-tests: lexer edge cases, rule positives/negatives,
+// suppression mechanics, baseline round-trip, canonical JSON, and the two
+// integration layers — the on-disk corpus (tests/lint_corpus/) run through
+// the real pipeline, and the repository-wide clean check that replaces the
+// old grep-based determinism guard.
+#include "lint/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "lint/lexer.hpp"
+#include "lint/rules.hpp"
+
+namespace ndnp::lint {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// All rules, no directory scoping: every rule applies to every path.
+LintConfig unscoped_config() {
+  LintConfig config;
+  config.rules = make_default_rules();
+  return config;
+}
+
+LintReport lint_one(const std::string& path, std::string_view content,
+                    std::string_view companion = {}) {
+  LintReport report;
+  lint_source(path, content, unscoped_config(), report, companion);
+  return report;
+}
+
+std::vector<std::string> rules_of(const LintReport& report) {
+  std::vector<std::string> rules;
+  rules.reserve(report.findings.size());
+  for (const Finding& finding : report.findings) rules.push_back(finding.rule);
+  std::sort(rules.begin(), rules.end());
+  return rules;
+}
+
+std::string hex16(std::uint64_t hash) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[hash & 0xf];
+    hash >>= 4;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+
+TEST(LintLexer, LineCommentsLeaveCodeView) {
+  const LexedFile file = lex("int a = 1; // new Widget()\n");
+  ASSERT_EQ(file.lines.size(), 2u);  // trailing newline opens an empty line
+  EXPECT_EQ(file.lines[0].code.find("new"), std::string::npos);
+  EXPECT_NE(file.lines[0].comment.find("new Widget()"), std::string::npos);
+  EXPECT_NE(file.lines[0].code.find("int a = 1;"), std::string::npos);
+}
+
+TEST(LintLexer, BlockCommentSpansLines) {
+  const LexedFile file = lex("int a; /* std::rand()\n   more rand */ int b;");
+  ASSERT_EQ(file.lines.size(), 2u);
+  EXPECT_EQ(file.lines[0].code.find("rand"), std::string::npos);
+  EXPECT_EQ(file.lines[1].code.find("rand"), std::string::npos);
+  EXPECT_NE(file.lines[1].code.find("int b;"), std::string::npos);
+  EXPECT_NE(file.lines[0].comment.find("std::rand()"), std::string::npos);
+}
+
+TEST(LintLexer, StringAndCharContentsBlanked) {
+  const LexedFile file = lex("auto s = \"delete p;\"; char c = 'x';");
+  ASSERT_EQ(file.lines.size(), 1u);
+  EXPECT_EQ(file.lines[0].code.find("delete"), std::string::npos);
+  // Delimiters survive so token adjacency is preserved.
+  EXPECT_NE(file.lines[0].code.find('"'), std::string::npos);
+}
+
+TEST(LintLexer, RawStringMatchedByDelimiter) {
+  const LexedFile file =
+      lex("auto s = R\"lint(new int[3]\nstd::random_device)lint\"; int after = 1;");
+  ASSERT_EQ(file.lines.size(), 2u);
+  EXPECT_EQ(file.lines[0].code.find("new"), std::string::npos);
+  EXPECT_EQ(file.lines[1].code.find("random_device"), std::string::npos);
+  EXPECT_NE(file.lines[1].code.find("int after = 1;"), std::string::npos);
+}
+
+TEST(LintLexer, DigitSeparatorIsNotACharLiteral) {
+  // If 10'000 opened a character literal, the rest of the line — including
+  // the comment marker — would be swallowed as literal content.
+  const LexedFile file = lex("int x = 10'000; int y = 2; // tail\n");
+  EXPECT_NE(file.lines[0].code.find("int y = 2;"), std::string::npos);
+  EXPECT_NE(file.lines[0].comment.find("tail"), std::string::npos);
+}
+
+TEST(LintLexer, PreprocessorContinuationFlagged) {
+  const LexedFile file = lex("#define FOO(x) \\\n  ((x) + 1)\nint a;\n");
+  ASSERT_GE(file.lines.size(), 3u);
+  EXPECT_TRUE(file.lines[0].preprocessor);
+  EXPECT_TRUE(file.lines[1].preprocessor);
+  EXPECT_FALSE(file.lines[2].preprocessor);
+}
+
+TEST(LintLexer, UnterminatedStringRecoversAtEndOfLine) {
+  const LexedFile file = lex("auto s = \"oops\nint next = 1;\n");
+  ASSERT_GE(file.lines.size(), 2u);
+  EXPECT_NE(file.lines[1].code.find("int next = 1;"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Path scoping
+
+TEST(LintPaths, PrefixMatchesWholeComponents) {
+  EXPECT_TRUE(path_has_prefix("src/sim/node.cpp", "src/sim"));
+  EXPECT_TRUE(path_has_prefix("src/sim", "src/sim"));
+  EXPECT_FALSE(path_has_prefix("src/simx/node.cpp", "src/sim"));
+  EXPECT_FALSE(path_has_prefix("src", "src/sim"));
+}
+
+// ---------------------------------------------------------------------------
+// Rules (unit level; the corpus covers the full matrix on disk)
+
+TEST(LintRules, CompanionHeaderDeclarationsAreTracked) {
+  const std::string header = "#pragma once\n#include <unordered_map>\n"
+                             "struct S { std::unordered_map<int, int> m_; void f(); };\n";
+  const std::string source = "#include \"s.hpp\"\nvoid S::f() {\n  for (auto& kv : m_) { (void)kv; }\n}\n";
+  const LintReport with = lint_one("src/sim/s.cpp", source, header);
+  EXPECT_EQ(rules_of(with), std::vector<std::string>{"determinism-unordered-iteration"});
+  // Without the companion the declaration is invisible and the range-for
+  // target is an unknown name — no finding.
+  const LintReport without = lint_one("src/sim/s.cpp", source);
+  EXPECT_TRUE(without.findings.empty()) << without.to_text();
+}
+
+TEST(LintRules, OrderedIterationAndTernaryColonAreNotRangeFor) {
+  const std::string source =
+      "#include <map>\nint f(bool flag, int a, int b) {\n"
+      "  std::map<int, int> m{{1, 2}};\n"
+      "  int sum = flag ? a : b;\n"
+      "  for (const auto& kv : m) sum += kv.second;\n"
+      "  return sum;\n}\n";
+  const LintReport report = lint_one("src/sim/ordered.cpp", source);
+  EXPECT_TRUE(report.findings.empty()) << report.to_text();
+}
+
+TEST(LintRules, WildcardAllowSuppressesAnyRule) {
+  const std::string source =
+      "#include <cstdlib>\n"
+      "// NDNP-LINT-ALLOW(*): test fixture needs raw entropy\n"
+      "int a = std::rand();\n";
+  const LintReport report = lint_one("src/sim/wild.cpp", source);
+  EXPECT_TRUE(report.findings.empty()) << report.to_text();
+  EXPECT_EQ(report.suppressed, 1u);
+}
+
+TEST(LintRules, DirectoryBindingScopesRule) {
+  LintConfig config = unscoped_config();
+  config.bindings.push_back({"determinism-rand", {"src/sim"}, {}});
+  const std::string source = "#include <cstdlib>\nint a = std::rand();\n";
+  LintReport inside;
+  lint_source("src/sim/a.cpp", source, config, inside);
+  EXPECT_EQ(inside.findings.size(), 1u);
+  LintReport outside;
+  lint_source("tools/a.cpp", source, config, outside);
+  EXPECT_TRUE(outside.findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Baseline
+
+Finding make_finding(const std::string& rule, const std::string& file, std::size_t line,
+                     const std::string& excerpt) {
+  Finding finding;
+  finding.rule = rule;
+  finding.file = file;
+  finding.line = line;
+  finding.message = "msg";
+  finding.excerpt = excerpt;
+  return finding;
+}
+
+TEST(LintBaseline, SerializeParseRoundTrip) {
+  const std::vector<Finding> findings = {
+      make_finding("determinism-rand", "src/sim/a.cpp", 3, "std::rand()"),
+      make_finding("alloc-naked-new", "src/core/b.cpp", 9, "new X"),
+      make_finding("alloc-naked-new", "src/core/b.cpp", 12, "new X"),  // duplicate key
+  };
+  const Baseline baseline = Baseline::from_findings(findings);
+  EXPECT_EQ(baseline.size(), 3u);
+  const std::string text = baseline.serialize();
+  const Baseline reparsed = Baseline::parse(text);
+  EXPECT_EQ(reparsed.size(), 3u);
+  EXPECT_EQ(reparsed.serialize(), text);
+}
+
+TEST(LintBaseline, HashIgnoresLineNumbersAndWhitespace) {
+  const Finding a = make_finding("r", "f.cpp", 10, "new   X");
+  const Finding b = make_finding("r", "f.cpp", 900, " new X ");
+  EXPECT_EQ(finding_hash(a), finding_hash(b));
+  const Finding c = make_finding("r", "f.cpp", 10, "new Y");
+  EXPECT_NE(finding_hash(a), finding_hash(c));
+}
+
+TEST(LintBaseline, ConsumeIsAMultisetAndLeftoversAreStale) {
+  const Finding finding = make_finding("r", "f.cpp", 1, "new X");
+  Baseline baseline = Baseline::from_findings({finding, finding});
+  EXPECT_TRUE(baseline.consume(finding));
+  EXPECT_TRUE(baseline.consume(finding));
+  EXPECT_FALSE(baseline.consume(finding));
+  EXPECT_TRUE(baseline.remaining().empty());
+
+  Baseline stale = Baseline::from_findings({finding});
+  ASSERT_EQ(stale.remaining().size(), 1u);
+  EXPECT_EQ(stale.remaining()[0].rule, "r");
+}
+
+TEST(LintBaseline, ApplyMovesMatchesAndReportsStale) {
+  LintReport report;
+  report.findings = {make_finding("r", "f.cpp", 1, "new X"),
+                     make_finding("r", "f.cpp", 2, "new Z")};
+  const Baseline baseline = Baseline::from_findings(
+      {make_finding("r", "f.cpp", 99, "new X"),  // matches (line-independent)
+       make_finding("r", "f.cpp", 99, "gone")});  // stale
+  apply_baseline(report, baseline);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].excerpt, "new Z");
+  ASSERT_EQ(report.baselined.size(), 1u);
+  ASSERT_EQ(report.stale_baseline.size(), 1u);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(LintBaseline, MalformedLineThrows) {
+  EXPECT_THROW((void)Baseline::parse("not a baseline line\n"), std::runtime_error);
+  EXPECT_THROW((void)Baseline::parse("rule zzzz file\n"), std::runtime_error);  // bad hash
+  EXPECT_NO_THROW((void)Baseline::parse("# comment only\n\n"));
+}
+
+// ---------------------------------------------------------------------------
+// Canonical JSON
+
+TEST(LintReportFormat, JsonIsCanonical) {
+  LintReport report;
+  report.files_scanned = 2;
+  report.suppressed = 1;
+  Finding finding = make_finding("determinism-rand", "src/sim/a.cpp", 3, "std::rand() \"q\"");
+  report.findings = {finding};
+  report.stale_baseline = {{"alloc-naked-new", "src/core/b.cpp", 0x1234abcd5678ef90ull}};
+
+  const std::string expected =
+      "{\"baselined\":0,\"files_scanned\":2,\"findings\":[{\"excerpt\":\"std::rand() "
+      "\\\"q\\\"\",\"file\":\"src/sim/a.cpp\",\"hash\":\"" +
+      hex16(finding_hash(finding)) +
+      "\",\"line\":3,\"message\":\"msg\",\"rule\":\"determinism-rand\"}],\"stale_baseline\":[{"
+      "\"file\":\"src/core/b.cpp\",\"hash\":\"1234abcd5678ef90\",\"rule\":\"alloc-naked-new\"}],"
+      "\"suppressed\":1}";
+  EXPECT_EQ(report.to_json(), expected);
+
+  // Findings are sorted on output, so construction order cannot leak.
+  LintReport shuffled = report;
+  shuffled.findings = {make_finding("z-rule", "z.cpp", 1, "z"), finding};
+  LintReport ordered = report;
+  ordered.findings = {finding, make_finding("z-rule", "z.cpp", 1, "z")};
+  EXPECT_EQ(shuffled.to_json(), ordered.to_json());
+}
+
+// ---------------------------------------------------------------------------
+// The on-disk corpus through the real pipeline
+
+using Expected = std::tuple<std::string, std::string, std::size_t>;  // rule, file, line
+
+TEST(LintCorpus, ProducesExactlyTheExpectedFindings) {
+  const LintConfig config = LintConfig::repo_default();
+  const LintReport report =
+      lint_paths(std::string(NDNP_SOURCE_ROOT) + "/tests/lint_corpus", {"src"}, config);
+
+  const std::set<Expected> expected = {
+      {"macro-side-effect", "src/core/macro_side_effects.cpp", 11},
+      {"macro-side-effect", "src/core/macro_side_effects.cpp", 12},
+      {"header-pragma-once", "src/core/missing_pragma.hpp", 1},
+      {"header-using-namespace", "src/core/missing_pragma.hpp", 7},
+      {"alloc-naked-new", "src/core/naked_new.cpp", 17},
+      {"alloc-naked-new", "src/core/naked_new.cpp", 21},
+      {"alloc-naked-new", "src/core/naked_new.cpp", 25},
+      {"determinism-unordered-iteration", "src/sim/iterates_unordered.cpp", 11},
+      {"determinism-unordered-iteration", "src/sim/iterates_unordered.cpp", 20},
+      {"allow-missing-reason", "src/sim/suppressed_ok.cpp", 16},
+      {"determinism-rand", "src/sim/suppressed_ok.cpp", 16},
+      {"determinism-rand", "src/sim/uses_rand.cpp", 8},
+      {"determinism-rand", "src/sim/uses_rand.cpp", 9},
+      {"determinism-rand", "src/sim/uses_rand.cpp", 11},
+      {"determinism-wallclock", "src/sim/uses_wallclock.cpp", 7},
+      {"determinism-wallclock", "src/sim/uses_wallclock.cpp", 8},
+  };
+  std::set<Expected> actual;
+  for (const Finding& finding : report.findings)
+    actual.insert({finding.rule, finding.file, finding.line});
+
+  for (const Expected& want : expected)
+    EXPECT_TRUE(actual.contains(want))
+        << "missing: " << std::get<0>(want) << " " << std::get<1>(want) << ":"
+        << std::get<2>(want);
+  for (const Expected& got : actual)
+    EXPECT_TRUE(expected.contains(got)) << "unexpected: " << std::get<0>(got) << " "
+                                        << std::get<1>(got) << ":" << std::get<2>(got);
+  EXPECT_EQ(report.suppressed, 2u);     // the two justified ALLOWs in suppressed_ok.cpp
+  EXPECT_EQ(report.files_scanned, 10u); // clean_tricky + alloc_ok + the dirty eight
+}
+
+TEST(LintCorpus, ReportIsByteIdenticalAcrossRuns) {
+  const LintConfig config = LintConfig::repo_default();
+  const std::string root = std::string(NDNP_SOURCE_ROOT) + "/tests/lint_corpus";
+  EXPECT_EQ(lint_paths(root, {"src"}, config).to_json(),
+            lint_paths(root, {"src"}, config).to_json());
+}
+
+// ---------------------------------------------------------------------------
+// Repository-wide clean check. This is the enforcement layer the CI lint
+// job runs through tools/ndnp_lint; keeping it in the test suite as well
+// means a plain `ctest` catches a violation before CI does.
+
+TEST(LintRepository, TreeIsCleanModuloBaseline) {
+  const LintConfig config = LintConfig::repo_default();
+  const LintReport raw = lint_paths(
+      NDNP_SOURCE_ROOT, {"src", "bench", "tools", "tests", "examples"}, config);
+  LintReport report = raw;
+  const std::string baseline_path = std::string(NDNP_SOURCE_ROOT) + "/.ndnp_lint_baseline";
+  apply_baseline(report, Baseline::parse(read_file(baseline_path)));
+  EXPECT_TRUE(report.clean()) << report.to_text();
+  // Sanity: the scan actually covered the tree.
+  EXPECT_GE(report.files_scanned, 150u);
+}
+
+}  // namespace
+}  // namespace ndnp::lint

@@ -1,19 +1,17 @@
 // Deterministic parallel sweep runner: seed derivation, jobs-independence
 // of merged results, golden vectors for the ported Figure 5(a) bench, and
-// the determinism guard over src/sim + src/trace + src/telemetry.
+// the determinism guard (ndnp_lint rules over the simulation tree).
 #include "runner/runner.hpp"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <filesystem>
-#include <fstream>
 #include <set>
-#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "lint/engine.hpp"
 #include "runner/experiments.hpp"
 #include "util/rng.hpp"
 
@@ -121,14 +119,6 @@ TEST(Runner, SweepRethrowsWorkerExceptions) {
 // experiments live in test_golden.cpp / the ndnp_golden_tests binary;
 // these tests stay here so the ThreadSanitizer CI job races them.)
 
-std::string read_file(const std::filesystem::path& path) {
-  std::ifstream in(path);
-  if (!in) return {};
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
-
 runner::Fig5aConfig golden_config(std::uint64_t replay_seed) {
   runner::Fig5aConfig config;
   config.trace_requests = 10'000;
@@ -169,34 +159,27 @@ TEST(RunnerJobsInvariance, Fig4aAndTheoryByteIdenticalAcrossJobs) {
 
 // ---------------------------------------------------------------------------
 // Determinism guard: simulation results must never depend on wall clock,
-// libc rand, or unordered-container iteration order. This scan fails if
-// such a dependency is (re)introduced in src/sim, src/trace or
-// src/telemetry.
+// libc rand, or unordered-container iteration order. The old grep scan
+// over src/sim, src/trace and src/telemetry is now the ndnp_lint rule
+// pack (src/lint, docs/STATIC_ANALYSIS.md), which lexes real code — no
+// false hits on comments or strings — and covers a wider tree: the
+// determinism rules bind to src/runner, src/attack, src/cache and
+// src/core as well. Suppressions require a written justification at the
+// site, so a silent reintroduction still fails here.
 
-TEST(DeterminismGuard, SimAndTraceSourcesAvoidNondeterministicPrimitives) {
-  const std::vector<std::string> banned = {
-      "std::rand", "srand(", "::time(", "std::time", "unordered_map", "unordered_set",
-      "std::random_device",
-  };
-  std::vector<std::filesystem::path> files;
-  for (const char* dir : {"src/sim", "src/trace", "src/telemetry"}) {
-    const std::filesystem::path root = std::filesystem::path(NDNP_SOURCE_ROOT) / dir;
-    ASSERT_TRUE(std::filesystem::is_directory(root)) << root;
-    for (const auto& entry : std::filesystem::directory_iterator(root)) {
-      const std::string ext = entry.path().extension().string();
-      if (ext == ".cpp" || ext == ".hpp") files.push_back(entry.path());
-    }
-  }
-  std::sort(files.begin(), files.end());
-  ASSERT_GE(files.size(), 10u) << "guard scanned suspiciously few files";
-  for (const std::filesystem::path& file : files) {
-    const std::string source = read_file(file);
-    ASSERT_FALSE(source.empty()) << file;
-    for (const std::string& token : banned)
-      EXPECT_EQ(source.find(token), std::string::npos)
-          << file << " uses banned nondeterministic primitive '" << token
-          << "' — draw through util::Rng / iterate ordered containers instead";
-  }
+TEST(DeterminismGuard, SimulationTreeIsCleanUnderDeterminismLintRules) {
+  const lint::LintConfig config = lint::LintConfig::repo_default();
+  const lint::LintReport report = lint::lint_paths(NDNP_SOURCE_ROOT, {"src"}, config);
+  std::vector<lint::Finding> determinism;
+  for (const lint::Finding& finding : report.findings)
+    if (finding.rule.starts_with("determinism-")) determinism.push_back(finding);
+  EXPECT_TRUE(determinism.empty()) << [&] {
+    lint::LintReport only;
+    only.findings = determinism;
+    only.files_scanned = report.files_scanned;
+    return only.to_text();
+  }();
+  ASSERT_GE(report.files_scanned, 10u) << "guard scanned suspiciously few files";
 }
 
 }  // namespace

@@ -45,8 +45,13 @@ void* operator new(std::size_t size) {
   throw std::bad_alloc();
 }
 
+// The replacement operators pair ::new with std::free by design; GCC's
+// heuristic cannot see that this *is* the allocation function.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace ndnp::sim {
 namespace {
